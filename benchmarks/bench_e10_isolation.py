@@ -1,0 +1,118 @@
+"""E10 — §5.1/§5.3: permissions, ACLs, and namespace isolation.
+
+Paper claims: "the network operating system can implement fine-grained
+control of network resources using permissions. For example, while
+individual flows can be protected for specific processes, so too can an
+entire switch"; namespaces "isolate subsets of the network to individual
+processes".
+
+Reproduced shape: permission checks add only a small constant to each
+access; protection works at flow and whole-switch granularity; a tenant
+in a view namespace can neither read nor write outside its slice.
+"""
+
+import pytest
+from conftest import print_table
+
+from repro.dataplane import Match, Output, build_linear
+from repro.runtime import YancController
+from repro.vfs import Acl, AclEntry, AclTag, Credentials, FileNotFound, PermissionDenied, Syscalls
+from repro.views import Slicer, grant_view, tenant_process
+from repro.yancfs import YancClient
+
+ALICE = Credentials(uid=3001, gid=3001)
+BOB = Credentials(uid=3002, gid=3002)
+
+
+def test_permission_check_overhead_small(benchmark):
+    ctl = YancController(build_linear(2)).start()
+    yc = ctl.client()
+    yc.create_flow("sw1", "f", Match(dl_type=0x800), [Output(1)], priority=5)
+    root_reader = ctl.host.process()
+    user_reader = Syscalls(ctl.host.vfs, cred=ALICE)
+    # both can read a world-readable file; timing difference is the check
+    path = "/net/switches/sw1/flows/f/priority"
+    benchmark(user_reader.read_text, path)
+    assert root_reader.read_text(path) == user_reader.read_text(path) == "5"
+
+
+def test_flow_level_protection(benchmark):
+    ctl = YancController(build_linear(2)).start()
+    yc = ctl.client()
+    yc.create_flow("sw1", "alice_flow", Match(dl_vlan=1), [Output(1)], priority=5, commit=False)
+    sc = ctl.host.root_sc
+    sc.chown("/net/switches/sw1/flows/alice_flow", ALICE.uid, ALICE.gid)
+    sc.chmod("/net/switches/sw1/flows/alice_flow", 0o700)
+    for name in sc.listdir("/net/switches/sw1/flows/alice_flow"):
+        sc.chown(f"/net/switches/sw1/flows/alice_flow/{name}", ALICE.uid, ALICE.gid)
+        sc.chmod(f"/net/switches/sw1/flows/alice_flow/{name}", 0o600)
+    alice = Syscalls(ctl.host.vfs, cred=ALICE)
+    bob = Syscalls(ctl.host.vfs, cred=BOB)
+    alice.write_text("/net/switches/sw1/flows/alice_flow/priority", "7")
+    with pytest.raises(PermissionDenied):
+        bob.read_text("/net/switches/sw1/flows/alice_flow/priority")
+    with pytest.raises(PermissionDenied):
+        bob.write_text("/net/switches/sw1/flows/alice_flow/priority", "1")
+    benchmark(alice.read_text, "/net/switches/sw1/flows/alice_flow/priority")
+
+
+def test_whole_switch_protection(benchmark):
+    """'so too can an entire switch (thus all of its flows)'."""
+    ctl = YancController(build_linear(2)).start()
+    sc = ctl.host.root_sc
+    sc.chmod("/net/switches/sw1", 0o700)  # root-only traversal
+    bob = Syscalls(ctl.host.vfs, cred=BOB)
+    with pytest.raises(PermissionDenied):
+        bob.listdir("/net/switches/sw1")
+    with pytest.raises(PermissionDenied):
+        bob.read_text("/net/switches/sw1/flows/anything/priority")
+    # sw2 remains open
+    assert bob.listdir("/net/switches/sw2/flows") == []
+    benchmark(lambda: bob.listdir("/net/switches/sw2/flows"))
+
+
+def test_acl_grants_named_user_without_opening_world(benchmark):
+    ctl = YancController(build_linear(2)).start()
+    sc = ctl.host.root_sc
+    sc.chmod("/net/switches/sw1", 0o700)
+    acl = Acl(
+        entries=(
+            AclEntry(AclTag.USER_OBJ, 7),
+            AclEntry(AclTag.USER, 5, qualifier=ALICE.uid),
+            AclEntry(AclTag.GROUP_OBJ, 0),
+            AclEntry(AclTag.OTHER, 0),
+        )
+    )
+    sc.set_acl("/net/switches/sw1", acl)
+    alice = Syscalls(ctl.host.vfs, cred=ALICE)
+    bob = Syscalls(ctl.host.vfs, cred=BOB)
+    assert "flows" in alice.listdir("/net/switches/sw1")
+    with pytest.raises(PermissionDenied):
+        bob.listdir("/net/switches/sw1")
+    benchmark(lambda: alice.listdir("/net/switches/sw1"))
+
+
+def test_namespace_tenant_cannot_reach_other_slice(benchmark):
+    ctl = YancController(build_linear(3)).start()
+    for view, switches, vlan, cred in (("a", ["sw1"], 100, ALICE), ("b", ["sw3"], 200, BOB)):
+        Slicer(ctl.host.process(), ctl.sim, view=view, switches=switches, headerspace=Match(dl_vlan=vlan)).start()
+    ctl.run(0.2)
+    grant_view(ctl.host.root_sc, "/net/views/a", ALICE.uid, ALICE.gid)
+    grant_view(ctl.host.root_sc, "/net/views/b", BOB.uid, BOB.gid)
+    alice = tenant_process(ctl.host.vfs, "/net/views/a", ALICE)
+    bob = tenant_process(ctl.host.vfs, "/net/views/b", BOB)
+    YancClient(alice).create_flow("sw1", "mine", Match(dl_vlan=100), [Output(1)], priority=5)
+    ctl.run(0.3)
+    # Bob's world simply does not contain Alice's switch or view
+    assert bob.listdir("/net/switches") == ["sw3"]
+    with pytest.raises(FileNotFound):
+        bob.read_text("/net/switches/sw1/flows/mine/priority")
+    with pytest.raises(FileNotFound):
+        bob.listdir("/net/views/a")
+    rows = [
+        ("alice sees", str(alice.listdir("/net/switches"))),
+        ("bob sees", str(bob.listdir("/net/switches"))),
+        ("master sees", str(ctl.client().switches())),
+    ]
+    print_table("E10: per-tenant namespace views", ["who", "/net/switches"], rows)
+    benchmark(lambda: bob.listdir("/net/switches"))

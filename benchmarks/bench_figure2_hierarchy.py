@@ -1,0 +1,46 @@
+"""F2 — regenerate figure 2: the /net hierarchy.
+
+The live tree, rendered by the shell's ``tree``, must show the figure's
+structure: hosts/, switches/ (sw1, sw2), views/ with a nested view whose
+own hosts/switches/views exist.
+"""
+
+from repro.runtime import ControllerHost
+from repro.shell import Shell
+from repro.sim import Simulator
+
+
+def _build_figure2_host() -> ControllerHost:
+    host = ControllerHost(Simulator())
+    sc = host.root_sc
+    sc.mkdir("/net/switches/sw1")
+    sc.mkdir("/net/switches/sw2")
+    sc.mkdir("/net/views/http")
+    sc.mkdir("/net/views/management-net")
+    return host
+
+
+def test_figure2_structure_matches_paper(benchmark):
+    host = _build_figure2_host()
+    shell = Shell(host.root_sc)
+    rendered = benchmark(shell.run, "tree /net -L 2")
+    print("\n=== Figure 2: the yanc file system hierarchy (live render) ===")
+    print(rendered)
+    lines = rendered.splitlines()
+    assert lines[0] == "/net"
+    # depth-1: exactly hosts, switches, views
+    depth1 = [l.split(" ")[-1] for l in lines if l.startswith(("├── ", "└── "))]
+    assert depth1 == ["hosts", "switches", "views"]
+    # switches holds sw1, sw2
+    assert any(l.endswith("sw1") for l in lines)
+    assert any(l.endswith("sw2") for l in lines)
+    # views holds the two views of the figure
+    assert any(l.endswith("http") for l in lines)
+    assert any(l.endswith("management-net") for l in lines)
+
+
+def test_figure2_nested_view_replicates_structure(benchmark):
+    host = _build_figure2_host()
+    listing = benchmark(host.root_sc.listdir, "/net/views/management-net")
+    assert listing == ["hosts", "switches", "views"]
+    assert host.root_sc.listdir("/net") == ["hosts", "switches", "views"]

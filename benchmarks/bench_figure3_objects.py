@@ -1,0 +1,62 @@
+"""F3 — regenerate figure 3: switch and flow directory layouts.
+
+A live switch directory must contain exactly the figure's children
+(counters/ flows/ ports/ actions capabilities id num_buffers — plus the
+events/ buffer tree of §3.5 and this repo's packet_out spool), and a
+committed ARP flow must contain the figure's files.
+"""
+
+from repro.dataplane import FLOOD, Match, Output, build_linear
+from repro.runtime import YancController
+from repro.shell import Shell
+
+FIGURE3_SWITCH_CHILDREN = {"counters", "flows", "ports", "actions", "capabilities", "id", "num_buffers"}
+FIGURE3_FLOW_FILES = {"counters", "match.dl_type", "match.dl_src", "action.out", "priority", "timeout", "version"}
+
+
+def _controller() -> YancController:
+    ctl = YancController(build_linear(2)).start()
+    yc = ctl.client()
+    yc.create_flow(
+        "sw1",
+        "arp_flow",
+        Match(dl_type=0x0806, dl_src="02:00:00:00:00:01"),
+        [Output(FLOOD)],
+        priority=100,
+        idle_timeout=30,
+    )
+    ctl.run(0.2)
+    return ctl
+
+
+def test_figure3_switch_layout(benchmark):
+    ctl = _controller()
+    listing = set(benchmark(ctl.host.root_sc.listdir, "/net/switches/sw1"))
+    print("\n=== Figure 3 (left): switch directory ===")
+    print(Shell(ctl.host.root_sc).run("tree /net/switches/sw1 -L 1"))
+    assert FIGURE3_SWITCH_CHILDREN <= listing
+    extra = listing - FIGURE3_SWITCH_CHILDREN
+    assert extra <= {"events", "packet_out"}  # documented additions
+
+
+def test_figure3_flow_layout(benchmark):
+    ctl = _controller()
+    listing = set(benchmark(ctl.host.root_sc.listdir, "/net/switches/sw1/flows/arp_flow"))
+    print("\n=== Figure 3 (right): flow directory ===")
+    print(Shell(ctl.host.root_sc).run("tree /net/switches/sw1/flows/arp_flow"))
+    assert listing == FIGURE3_FLOW_FILES
+    assert set(ctl.host.root_sc.listdir("/net/switches/sw1/flows/arp_flow/counters")) == {
+        "packet_count",
+        "byte_count",
+    }
+
+
+def test_figure3_flow_readback(benchmark):
+    """The directory parses back into exactly the committed flow."""
+    ctl = _controller()
+    yc = ctl.client()
+    spec = benchmark(yc.read_flow, "sw1", "arp_flow")
+    assert spec.match.dl_type == 0x0806
+    assert spec.priority == 100
+    assert spec.idle_timeout == 30
+    assert spec.version == 1

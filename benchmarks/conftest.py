@@ -1,0 +1,20 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_*`` module regenerates one artifact from the experiment index
+in DESIGN.md (figures F1-F3, experiments E1-E10).  Benchmarks both *time*
+representative operations (pytest-benchmark) and *print* the table/series
+the paper's claim is about, asserting its shape.
+"""
+
+from __future__ import annotations
+
+
+def print_table(title: str, headers: list[str], rows: list[tuple]) -> None:
+    """Print a fixed-width results table to the benchmark log."""
+    widths = [max(len(str(h)), *(len(str(r[i])) for r in rows)) for i, h in enumerate(headers)]
+    line = "  ".join(str(h).rjust(w) for h, w in zip(headers, widths))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(v).rjust(w) for v, w in zip(row, widths)))

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""The paper's section 5.4 one-liners, executed verbatim.
+
+"A quick overview of the switches in a network can be provided by
+``ls -l /net/switches``.  To list flow entries which affect ssh traffic:
+``find /net -name tp.dst -exec grep 22``."  (Our match files are named
+``match.tp_dst``.)
+
+Run:  python examples/admin_oneliners.py
+"""
+
+from repro import Match, Output, YancController, build_linear
+from repro.shell import Shell
+
+
+def main() -> None:
+    net = build_linear(3)
+    ctl = YancController(net).start()
+    yc = ctl.client()
+    yc.create_flow("sw1", "ssh_in", Match(dl_type=0x0800, nw_proto=6, tp_dst=22), [Output(2)], priority=50)
+    yc.create_flow("sw2", "ssh_transit", Match(dl_type=0x0800, nw_proto=6, tp_dst=22), [Output(1)], priority=50)
+    yc.create_flow("sw2", "web", Match(dl_type=0x0800, nw_proto=6, tp_dst=80), [Output(2)], priority=50)
+    ctl.run(0.2)
+
+    sh = Shell(ctl.host.root_sc)
+    for command in (
+        "ls -l /net/switches",
+        "find /net -name match.tp_dst -exec grep 22 {} ;",
+        "echo 1 > /net/switches/sw1/ports/port_2/config.port_down",
+        "cat /net/switches/sw1/ports/port_2/config.port_down",
+        "grep -r -l 22 /net/switches/sw2/flows",
+        "tree /net -L 2",
+    ):
+        print(f"$ {command}")
+        output = sh.run(command)
+        if output:
+            print(output)
+        print()
+
+    # The port-down write is configuration, not decoration: the driver
+    # turned it into a port-mod and the switch stopped forwarding.
+    ctl.run(0.2)
+    print("sw1 port 2 admin_up on hardware:", net.switches["sw1"].ports[2].admin_up)
+
+
+if __name__ == "__main__":
+    main()

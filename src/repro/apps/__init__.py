@@ -1,0 +1,48 @@
+"""Network applications: separate processes on file I/O (paper section 2).
+
+Each module is one logically distinct task, deliberately independent of
+the others — they cooperate only through the tree:
+
+* :class:`TopologyDaemon` — LLDP discovery -> ``peer`` symlinks (§4.3).
+* :class:`RouterDaemon` — reactive exact-match shortest paths (§8).
+* :class:`StaticFlowPusher` — the "shell script" flow pusher (§8).
+* :class:`LearningSwitchApp` — classic per-switch L2 learning.
+* :class:`ArpResponder` / :class:`DhcpServer` — per-protocol daemons (§2).
+* :class:`Firewall` — fleet-wide deny rules as drop flows.
+* :class:`LoadBalancer` — VIP round-robin with rewrite flows.
+* :class:`AccountingDaemon` — periodic counter sampling to a log (§2).
+* :func:`run_audit` — the cron-style one-shot auditor (§2).
+"""
+
+from repro.apps.accounting import AccountingDaemon
+from repro.apps.arp import ArpResponder
+from repro.apps.auditor import AuditReport, run_audit
+from repro.apps.base import PacketInApp, YancApp
+from repro.apps.dhcp import DhcpServer, make_discover
+from repro.apps.firewall import Firewall, FirewallRule
+from repro.apps.flowpusher import StaticFlowPusher, parse_spec
+from repro.apps.learning import LearningSwitchApp
+from repro.apps.loadbalancer import Backend, LoadBalancer
+from repro.apps.router import RouterDaemon
+from repro.apps.topology import TopologyDaemon, read_topology
+
+__all__ = [
+    "AccountingDaemon",
+    "ArpResponder",
+    "AuditReport",
+    "run_audit",
+    "PacketInApp",
+    "YancApp",
+    "DhcpServer",
+    "make_discover",
+    "Firewall",
+    "FirewallRule",
+    "StaticFlowPusher",
+    "parse_spec",
+    "LearningSwitchApp",
+    "Backend",
+    "LoadBalancer",
+    "RouterDaemon",
+    "TopologyDaemon",
+    "read_topology",
+]

@@ -1,0 +1,108 @@
+"""The auditor: a one-shot program run occasionally (e.g. from cron).
+
+"An auditor might run periodically via a cron job" (paper section 2).
+Unlike the daemons, this is a plain run-to-completion function: it sweeps
+the tree, checks configuration invariants, and writes a report file.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.vfs.errors import FsError
+from repro.vfs.syscalls import Syscalls
+from repro.yancfs.client import YancClient
+
+
+@dataclass
+class AuditReport:
+    """The outcome of one audit sweep."""
+
+    when: float
+    switches_checked: int = 0
+    flows_checked: int = 0
+    findings: list[str] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        """True when no findings were raised."""
+        return not self.findings
+
+    def render(self) -> str:
+        """Human-readable report text."""
+        lines = [
+            f"yanc audit @ t={self.when:.3f}",
+            f"switches: {self.switches_checked}  flows: {self.flows_checked}",
+        ]
+        if self.clean:
+            lines.append("no findings")
+        else:
+            lines.extend(f"FINDING: {finding}" for finding in self.findings)
+        return "\n".join(lines) + "\n"
+
+
+def run_audit(sc: Syscalls, *, root: str = "/net", report_path: str = "", clock: float = 0.0) -> AuditReport:
+    """Sweep the tree once and (optionally) write the report file.
+
+    Checks:
+
+    * every flow has at least one action file **or** is an explicit drop
+      (priority >= 0xFFF0 convention used by the firewall);
+    * committed flows (version > 0) have at least one match file;
+    * no two committed flows on one switch share (match set, priority);
+    * every ``peer`` symlink resolves to an existing port whose own
+      ``peer`` points back (topology symmetry, §3.3).
+    """
+    yc = YancClient(sc, root)
+    report = AuditReport(when=clock)
+    try:
+        switches = yc.switches()
+    except FsError:
+        return report
+    for switch in switches:
+        report.switches_checked += 1
+        seen: dict[tuple, str] = {}
+        try:
+            flow_names = yc.flows(switch)
+        except FsError:
+            continue
+        for flow_name in flow_names:
+            report.flows_checked += 1
+            try:
+                files = sc.listdir(yc.flow_path(switch, flow_name))
+                spec = yc.read_flow(switch, flow_name)
+            except FsError:
+                continue
+            has_action = any(name.startswith("action.") for name in files)
+            has_match = any(name.startswith("match.") for name in files)
+            if spec.version > 0:
+                if not has_action and spec.priority < 0xFFF0:
+                    report.findings.append(f"{switch}/{flow_name}: committed flow with no actions (not a marked drop)")
+                if not has_match:
+                    report.findings.append(f"{switch}/{flow_name}: committed flow matches everything")
+                key = (frozenset(spec.match.specified_fields().items()), spec.priority)
+                if key in seen:
+                    report.findings.append(f"{switch}/{flow_name}: duplicates {seen[key]} (same match and priority)")
+                else:
+                    seen[key] = flow_name
+        # topology symmetry
+        try:
+            port_names = yc.ports(switch)
+        except FsError:
+            continue
+        for port_name in port_names:
+            target = yc.peer_of(switch, port_name)
+            if target is None:
+                continue
+            if not sc.exists(target):
+                report.findings.append(f"{switch}/{port_name}: dangling peer symlink -> {target}")
+                continue
+            back = sc.readlink(f"{target}/peer") if sc.exists(f"{target}/peer") else None
+            if back != yc.port_path(switch, port_name):
+                report.findings.append(f"{switch}/{port_name}: asymmetric peer link")
+    if report_path:
+        parent = report_path.rsplit("/", 1)[0]
+        if parent and not sc.exists(parent):
+            sc.makedirs(parent)
+        sc.write_text(report_path, report.render())
+    return report

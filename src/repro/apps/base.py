@@ -1,0 +1,158 @@
+"""The application base class: a process that lives on file I/O.
+
+Every yanc application is an ordinary process (paper section 2): it gets a
+:class:`~repro.vfs.Syscalls` context, watches parts of the tree with
+inotify, and reacts.  :class:`YancApp` provides the event-loop plumbing —
+watch bookkeeping, simulator-scheduled wakeups, periodic tasks — and
+:class:`PacketInApp` adds the common pattern of subscribing a private
+packet-in buffer on every switch (including ones that appear later).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.sim import Simulator
+from repro.vfs.errors import FileNotFound, FsError
+from repro.vfs.notify import EventMask, NotifyEvent
+from repro.vfs.syscalls import Syscalls
+from repro.yancfs.client import PacketInEvent, YancClient
+
+_DIR_MASK = EventMask.IN_CREATE | EventMask.IN_DELETE | EventMask.IN_MOVED_FROM | EventMask.IN_MOVED_TO
+
+
+class YancApp:
+    """Event-driven application skeleton."""
+
+    #: Override: the application's name (used for event buffers, logs).
+    app_name = "app"
+
+    def __init__(self, sc: Syscalls, sim: Simulator, *, root: str = "/net", name: str = "") -> None:
+        if name:
+            self.app_name = name
+        self.sc = sc
+        self.sim = sim
+        self.yc = YancClient(sc, root)
+        self.ino = sc.inotify_init()
+        self.ino.wakeup = self._schedule_wake
+        self._watch_ctx: dict[int, tuple] = {}
+        self._wake_pending = False
+        self._tasks = []
+        self.running = False
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def start(self) -> "YancApp":
+        """Begin watching/processing.  Subclasses extend via on_start()."""
+        self.running = True
+        self.on_start()
+        return self
+
+    def stop(self) -> None:
+        """Stop all periodic work and drop every watch."""
+        self.running = False
+        for task in self._tasks:
+            task.stop()
+        self._tasks.clear()
+        self.ino.close()
+        self._watch_ctx.clear()
+        self.on_stop()
+
+    def on_start(self) -> None:
+        """Subclass hook: set up watches and tasks."""
+
+    def on_stop(self) -> None:
+        """Subclass hook: final cleanup."""
+
+    # -- plumbing -------------------------------------------------------------------
+
+    def every(self, interval: float, fn: Callable[[], None], *, start_delay: float | None = None) -> None:
+        """Run ``fn`` periodically until the app stops."""
+        self._tasks.append(self.sim.every(interval, fn, start_delay=start_delay))
+
+    def watch(self, path: str, mask: EventMask, ctx: tuple) -> bool:
+        """Watch ``path``; True on success (False when it vanished)."""
+        try:
+            wd = self.sc.inotify_add_watch(self.ino, path, mask)
+        except (FileNotFound, FsError):
+            return False
+        self._watch_ctx[wd] = ctx
+        return True
+
+    def _schedule_wake(self) -> None:
+        if self._wake_pending or not self.running:
+            return
+        self._wake_pending = True
+        self.sim.schedule(1e-5, self._drain)
+
+    def _drain(self) -> None:
+        self._wake_pending = False
+        if not self.running:
+            return
+        for event in self.sc.inotify_read(self.ino):
+            ctx = self._watch_ctx.get(event.wd)
+            if ctx is None:
+                continue
+            try:
+                self.on_event(ctx, event)
+            except FsError:
+                continue  # tree changed under us; later events resolve it
+
+    def on_event(self, ctx: tuple, event: NotifyEvent) -> None:
+        """Subclass hook: handle one inotify event."""
+
+
+class PacketInApp(YancApp):
+    """An app that consumes packet-ins from every switch (§3.5).
+
+    On start it subscribes a private event buffer named after the app on
+    each existing switch, watches ``switches/`` so later arrivals are
+    subscribed too, and calls :meth:`handle_packet_in` for every event.
+    """
+
+    def on_start(self) -> None:
+        self.watch(f"{self.yc.root}/switches", _DIR_MASK, ("switches",))
+        for switch in self._safe_switches():
+            self._subscribe(switch)
+
+    def _safe_switches(self) -> list[str]:
+        try:
+            return self.yc.switches()
+        except FsError:
+            return []
+
+    def _subscribe(self, switch: str) -> None:
+        try:
+            buffer_path = self.yc.subscribe_events(switch, self.app_name)
+        except FsError:
+            return
+        self.watch(buffer_path, EventMask.IN_CREATE, ("buffer", switch))
+        self.on_switch_added(switch)
+
+    def on_event(self, ctx: tuple, event: NotifyEvent) -> None:
+        kind = ctx[0]
+        if kind == "switches":
+            if event.mask & (EventMask.IN_CREATE | EventMask.IN_MOVED_TO) and event.name:
+                self._subscribe(event.name)
+            elif event.mask & (EventMask.IN_DELETE | EventMask.IN_MOVED_FROM) and event.name:
+                self.on_switch_removed(event.name)
+        elif kind == "buffer":
+            switch = ctx[1]
+            for pkt in self.yc.read_events(switch, self.app_name):
+                self.handle_packet_in(pkt)
+        else:
+            self.on_other_event(ctx, event)
+
+    # -- subclass hooks -----------------------------------------------------------------
+
+    def handle_packet_in(self, event: PacketInEvent) -> None:
+        """Subclass hook: one packet-in message."""
+
+    def on_switch_added(self, switch: str) -> None:
+        """Subclass hook: a switch appeared (buffer already subscribed)."""
+
+    def on_switch_removed(self, switch: str) -> None:
+        """Subclass hook: a switch directory went away."""
+
+    def on_other_event(self, ctx: tuple, event: NotifyEvent) -> None:
+        """Subclass hook: events from watches the subclass added."""

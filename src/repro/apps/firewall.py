@@ -1,0 +1,117 @@
+"""A network-wide firewall application.
+
+Deny rules compile to high-priority drop flows (an empty action list) on
+every switch; the app watches ``switches/`` so a switch that joins later
+gets the same policy.  Rules live in a text config file on the root file
+system — "likely with their own configuration files" (paper section 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dataplane.match import Match
+from repro.vfs.errors import FileExists, FsError
+from repro.vfs.notify import EventMask
+from repro.apps.base import YancApp
+from repro.apps.flowpusher import parse_spec
+
+#: Deny flows sit just under the LLDP punt priority.
+DENY_PRIORITY = 0xFFF0
+
+_DIR_MASK = EventMask.IN_CREATE | EventMask.IN_MOVED_TO
+
+
+@dataclass(frozen=True)
+class FirewallRule:
+    """One deny rule: a name and a match."""
+
+    name: str
+    match: Match
+
+
+class Firewall(YancApp):
+    """Install deny-by-match drop flows fleet-wide."""
+
+    app_name = "firewall"
+
+    def __init__(self, sc, sim, *, root: str = "/net", config_path: str = "") -> None:
+        super().__init__(sc, sim, root=root)
+        self.config_path = config_path
+        self.rules: list[FirewallRule] = []
+        self.flows_installed = 0
+
+    def on_start(self) -> None:
+        if self.config_path:
+            self.load_config(self.config_path)
+        self.watch(f"{self.yc.root}/switches", _DIR_MASK, ("switches",))
+        for switch in self._switches():
+            self._apply_to(switch)
+
+    def on_event(self, ctx, event) -> None:
+        if ctx[0] == "switches" and event.name and event.mask & _DIR_MASK:
+            self._apply_to(event.name)
+
+    # -- rules ---------------------------------------------------------------------
+
+    def add_rule(self, name: str, match: Match) -> None:
+        """Add a deny rule and push it everywhere immediately."""
+        rule = FirewallRule(name=name, match=match)
+        self.rules.append(rule)
+        if self.running:
+            for switch in self._switches():
+                self._install(switch, rule)
+
+    def remove_rule(self, name: str) -> None:
+        """Remove a rule and its flows from every switch."""
+        self.rules = [rule for rule in self.rules if rule.name != name]
+        for switch in self._switches():
+            try:
+                self.yc.delete_flow(switch, f"fw-{name}")
+            except FsError:
+                continue
+
+    def load_config(self, path: str) -> int:
+        """Parse a config file: blocks separated by ``[name]`` headers.
+
+        Each block holds ``match.<field> = value`` lines (flow-spec
+        syntax).  Returns the number of rules loaded.
+        """
+        text = self.sc.read_text(path)
+        current_name = ""
+        current_lines: list[str] = []
+        blocks: list[tuple[str, str]] = []
+        for line in text.splitlines():
+            stripped = line.strip()
+            if stripped.startswith("[") and stripped.endswith("]"):
+                if current_name:
+                    blocks.append((current_name, "\n".join(current_lines)))
+                current_name = stripped[1:-1].strip()
+                current_lines = []
+            else:
+                current_lines.append(line)
+        if current_name:
+            blocks.append((current_name, "\n".join(current_lines)))
+        for name, body in blocks:
+            files = parse_spec(body)
+            self.rules.append(FirewallRule(name=name, match=Match.from_files(files)))
+        return len(blocks)
+
+    # -- application ----------------------------------------------------------------
+
+    def _switches(self) -> list[str]:
+        try:
+            return self.yc.switches()
+        except FsError:
+            return []
+
+    def _apply_to(self, switch: str) -> None:
+        for rule in self.rules:
+            self._install(switch, rule)
+
+    def _install(self, switch: str, rule: FirewallRule) -> None:
+        try:
+            self.yc.create_flow(switch, f"fw-{rule.name}", rule.match, [], priority=DENY_PRIORITY)
+            self.flows_installed += 1
+        except (FileExists, FsError):
+            pass

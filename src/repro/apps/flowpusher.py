@@ -1,0 +1,69 @@
+"""The static flow pusher (paper section 8).
+
+The paper demonstrates yanc with "a simple 'static flow pusher' shell
+script" — flows are just files, so pushing one is a handful of ``echo``
+commands.  This module is that script in library form: it parses a tiny
+line-oriented spec (the same ``file=value`` pairs the tree stores) and
+writes it through the ordinary file API.  A text spec like::
+
+    # punt everything to the controller
+    match.dl_type = 0x0800
+    match.nw_dst  = 10.0.0.0/24
+    action.out    = 2
+    priority      = 100
+    timeout       = 30
+
+becomes one committed flow directory.
+"""
+
+from __future__ import annotations
+
+from repro.vfs.syscalls import Syscalls
+from repro.yancfs.client import YancClient
+
+
+def parse_spec(text: str) -> dict[str, str]:
+    """Parse ``name = value`` lines ('#' comments, blanks ignored)."""
+    files: dict[str, str] = {}
+    for line_no, line in enumerate(text.splitlines(), start=1):
+        line = line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if "=" not in line:
+            raise ValueError(f"line {line_no}: expected 'name = value', got {line!r}")
+        name, _, value = line.partition("=")
+        files[name.strip()] = value.strip()
+    return files
+
+
+class StaticFlowPusher:
+    """Push flow specs into the tree through plain file writes."""
+
+    def __init__(self, sc: Syscalls, *, root: str = "/net") -> None:
+        self.yc = YancClient(sc, root)
+        self.sc = sc
+        self.pushed = 0
+
+    def push(self, switch: str, name: str, spec: str | dict[str, str], *, commit: bool = True) -> str:
+        """Write one flow spec to ``switch`` as flow ``name``."""
+        files = parse_spec(spec) if isinstance(spec, str) else dict(spec)
+        path = self.yc.flow_path(switch, name)
+        if not self.sc.exists(path):
+            self.sc.mkdir(path)
+        for filename, content in files.items():
+            self.sc.write_text(f"{path}/{filename}", content)
+        if commit:
+            self.yc.commit_flow(switch, name)
+        self.pushed += 1
+        return path
+
+    def push_everywhere(self, name: str, spec: str | dict[str, str]) -> int:
+        """Push the same spec to every switch; returns how many."""
+        switches = self.yc.switches()
+        for switch in switches:
+            self.push(switch, name, spec)
+        return len(switches)
+
+    def push_from_file(self, switch: str, name: str, spec_path: str) -> str:
+        """Read a spec file from the file system and push it."""
+        return self.push(switch, name, self.sc.read_text(spec_path))

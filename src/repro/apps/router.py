@@ -1,0 +1,240 @@
+"""The reactive router daemon (paper section 8).
+
+"A router daemon handles all table misses and sets up paths based on exact
+match through the network."  On every punted packet it either
+
+* floods along a spanning tree (broadcast / unknown destination), or
+* installs exact-match entries along the shortest path between the
+  ingress switch and the destination host's learned location, then
+  releases the buffered packet along the first hop.
+
+Host locations are learned from packets entering at *edge* ports (ports
+with no ``peer`` symlink); the topology comes straight from the peer
+symlinks the topology daemon maintains — two applications cooperating
+through nothing but the file system.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+from repro.dataplane.match import Match
+from repro.dataplane.actions import Output
+from repro.netpkt.addr import MacAddress
+from repro.netpkt.ethernet import ETH_TYPE_LLDP
+from repro.netpkt.packet import parse_frame
+from repro.vfs.errors import FileExists, FsError
+from repro.yancfs.client import PacketInEvent
+from repro.apps.base import PacketInApp
+from repro.apps.topology import read_topology
+
+NO_BUFFER = 0xFFFFFFFF
+
+
+class RouterDaemon(PacketInApp):
+    """Reactive exact-match shortest-path routing."""
+
+    app_name = "router"
+
+    def __init__(
+        self,
+        sc,
+        sim,
+        *,
+        root: str = "/net",
+        flow_idle_timeout: float = 10.0,
+        topology_cache_ttl: float = 0.2,
+        record_hosts: bool = True,
+    ) -> None:
+        super().__init__(sc, sim, root=root)
+        self.flow_idle_timeout = flow_idle_timeout
+        self.topology_cache_ttl = topology_cache_ttl
+        self.record_hosts = record_hosts
+        self.host_locations: dict[MacAddress, tuple[str, int]] = {}
+        self._topology: dict[tuple[str, int], tuple[str, int]] = {}
+        self._topology_read_at = -1.0
+        self._flow_seq = 0
+        self.paths_installed = 0
+        self.floods = 0
+
+    # -- topology ------------------------------------------------------------------------
+
+    def topology(self) -> dict[tuple[str, int], tuple[str, int]]:
+        """The adjacency map, re-read from peer symlinks with a short TTL."""
+        if self.sim.now - self._topology_read_at > self.topology_cache_ttl:
+            try:
+                self._topology = read_topology(self.yc)
+            except FsError:
+                self._topology = {}
+            self._topology_read_at = self.sim.now
+        return self._topology
+
+    def _graph(self) -> dict[str, dict[str, int]]:
+        """switch -> {neighbour switch -> local out-port}."""
+        graph: dict[str, dict[str, int]] = {}
+        for (src_sw, src_port), (dst_sw, _dst_port) in self.topology().items():
+            graph.setdefault(src_sw, {})[dst_sw] = src_port
+            graph.setdefault(dst_sw, {})
+        return graph
+
+    def _spanning_tree(self) -> set[frozenset[str]]:
+        """BFS tree edges over the switch graph (loop-free flooding)."""
+        graph = self._graph()
+        if not graph:
+            return set()
+        root = min(graph)
+        seen = {root}
+        tree: set[frozenset[str]] = set()
+        queue = deque([root])
+        while queue:
+            current = queue.popleft()
+            for neighbour in sorted(graph.get(current, {})):
+                if neighbour in seen:
+                    continue
+                seen.add(neighbour)
+                tree.add(frozenset((current, neighbour)))
+                queue.append(neighbour)
+        return tree
+
+    def shortest_path(self, src_switch: str, dst_switch: str) -> list[str] | None:
+        """BFS shortest switch path, inclusive of both ends."""
+        if src_switch == dst_switch:
+            return [src_switch]
+        graph = self._graph()
+        previous: dict[str, str] = {}
+        seen = {src_switch}
+        queue = deque([src_switch])
+        while queue:
+            current = queue.popleft()
+            for neighbour in sorted(graph.get(current, {})):
+                if neighbour in seen:
+                    continue
+                seen.add(neighbour)
+                previous[neighbour] = current
+                if neighbour == dst_switch:
+                    path = [dst_switch]
+                    while path[-1] != src_switch:
+                        path.append(previous[path[-1]])
+                    return path[::-1]
+                queue.append(neighbour)
+        return None
+
+    # -- port classification ------------------------------------------------------------
+
+    def _edge_ports(self, switch: str) -> list[int]:
+        """Ports with no peer symlink: where hosts live."""
+        linked = {src_port for (src_sw, src_port) in self.topology() if src_sw == switch}
+        ports = []
+        for port_name in self.yc.ports(switch):
+            try:
+                port_no = int(port_name.rsplit("_", 1)[-1])
+            except ValueError:
+                continue
+            if port_no not in linked:
+                ports.append(port_no)
+        return ports
+
+    def _flood_ports(self, switch: str, in_port: int) -> list[int]:
+        """Edge ports plus spanning-tree link ports, minus the ingress."""
+        tree = self._spanning_tree()
+        ports = set(self._edge_ports(switch))
+        for (src_sw, src_port), (dst_sw, _dst_port) in self.topology().items():
+            if src_sw == switch and frozenset((src_sw, dst_sw)) in tree:
+                ports.add(src_port)
+        ports.discard(in_port)
+        return sorted(ports)
+
+    # -- the reactive core -----------------------------------------------------------------
+
+    def handle_packet_in(self, event: PacketInEvent) -> None:
+        try:
+            frame = parse_frame(event.data)
+        except ValueError:
+            return
+        if frame.eth.eth_type == ETH_TYPE_LLDP:
+            return  # the topology daemon's business
+        self._learn(event, frame.eth.src)
+        destination = frame.eth.dst
+        if destination.is_broadcast or destination.is_multicast:
+            self._flood(event)
+            return
+        location = self.host_locations.get(destination)
+        if location is None:
+            self._flood(event)
+            return
+        self._route(event, frame, location)
+
+    def _learn(self, event: PacketInEvent, src_mac: MacAddress) -> None:
+        if src_mac.is_multicast:
+            return
+        try:
+            if self.yc.peer_of(event.switch, event.in_port) is not None:
+                return  # arrived over an inter-switch link: not the edge
+        except FsError:
+            return
+        known = self.host_locations.get(src_mac)
+        self.host_locations[src_mac] = (event.switch, event.in_port)
+        if known != (event.switch, event.in_port) and self.record_hosts:
+            try:
+                name = str(src_mac)
+                host_path = f"{self.yc.root}/hosts/{name}"
+                if not self.sc.exists(host_path):
+                    self.yc.create_host(name, mac=name, attached_to=f"{event.switch}:{event.in_port}")
+                else:
+                    self.sc.write_text(f"{host_path}/attached_to", f"{event.switch}:{event.in_port}")
+            except FsError:
+                pass
+
+    def _flood(self, event: PacketInEvent) -> None:
+        ports = self._flood_ports(event.switch, event.in_port)
+        if not ports:
+            return
+        self.floods += 1
+        if event.buffer_id != NO_BUFFER:
+            self.yc.packet_out(
+                event.switch, ports, b"", in_port=event.in_port, buffer_id=event.buffer_id, tag=self.app_name
+            )
+        else:
+            self.yc.packet_out(event.switch, ports, event.data, in_port=event.in_port, tag=self.app_name)
+
+    def _route(self, event: PacketInEvent, frame, location: tuple[str, int]) -> None:
+        dst_switch, dst_port = location
+        path = self.shortest_path(event.switch, dst_switch)
+        if path is None:
+            self._flood(event)
+            return
+        graph = self._graph()
+        key = frame.key
+        self._flow_seq += 1
+        in_port = event.in_port
+        first_out: int | None = None
+        for index, switch in enumerate(path):
+            if index + 1 < len(path):
+                out_port = graph[switch][path[index + 1]]
+            else:
+                out_port = dst_port
+            if first_out is None:
+                first_out = out_port
+            match = Match.exact(key, in_port=in_port)
+            flow_name = f"rt-{key.dl_src}-{key.dl_dst}-{self._flow_seq}"
+            try:
+                self.yc.create_flow(
+                    switch,
+                    flow_name,
+                    match,
+                    [Output(out_port)],
+                    idle_timeout=self.flow_idle_timeout,
+                )
+            except FileExists:
+                pass
+            if index + 1 < len(path):
+                next_switch = path[index + 1]
+                # The frame enters the next switch on the reverse port.
+                in_port = self.topology().get((switch, out_port), (next_switch, 0))[1]
+        self.paths_installed += 1
+        if event.buffer_id != NO_BUFFER:
+            self.yc.packet_out(
+                event.switch, [first_out or dst_port], b"", in_port=event.in_port, buffer_id=event.buffer_id, tag=self.app_name
+            )
+        else:
+            self.yc.packet_out(event.switch, [first_out or dst_port], event.data, in_port=event.in_port, tag=self.app_name)

@@ -1,0 +1,172 @@
+"""The topology daemon (paper sections 4.3 and 8).
+
+Sends LLDP beacons out every port of every switch, listens for them
+arriving on neighbouring switches, and records each discovered adjacency
+as the ``peer`` symbolic link of both ports — "yanc leverages symbolic
+links ... rather than parsing some topology information file".  Stale
+links (no beacon within ``link_ttl``) are pruned, so a cut cable
+eventually disappears from the tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dataplane.actions import TO_CONTROLLER, Output
+from repro.dataplane.match import Match
+from repro.netpkt.addr import MacAddress
+from repro.netpkt.ethernet import ETH_TYPE_LLDP, Ethernet
+from repro.netpkt.lldp import LLDP_MULTICAST_MAC, Lldp
+from repro.netpkt.packet import build_frame, parse_frame
+from repro.vfs.errors import FsError
+from repro.yancfs.client import PacketInEvent
+from repro.apps.base import PacketInApp
+
+#: Priority of the LLDP punt flow (must beat any forwarding entry).
+LLDP_FLOW_PRIORITY = 0xFFFF
+
+
+@dataclass
+class DiscoveredLink:
+    """One directed adjacency with its freshness timestamp."""
+
+    src: tuple[str, int]
+    dst: tuple[str, int]
+    last_seen: float
+
+
+class TopologyDaemon(PacketInApp):
+    """LLDP discovery -> peer symlinks."""
+
+    app_name = "topod"
+
+    def __init__(self, sc, sim, *, root: str = "/net", beacon_interval: float = 0.5, link_ttl: float = 2.0) -> None:
+        super().__init__(sc, sim, root=root)
+        self.beacon_interval = beacon_interval
+        self.link_ttl = link_ttl
+        self.links: dict[tuple[str, int], DiscoveredLink] = {}
+        self.beacons_sent = 0
+        self.beacons_received = 0
+
+    def on_start(self) -> None:
+        super().on_start()
+        self.every(self.beacon_interval, self.send_beacons, start_delay=0.0)
+        self.every(self.link_ttl, self.prune_stale)
+
+    def on_switch_added(self, switch: str) -> None:
+        # Make sure LLDP always reaches us, whatever else is installed.
+        try:
+            self.yc.create_flow(
+                switch,
+                "lldp_punt",
+                Match(dl_type=ETH_TYPE_LLDP),
+                [Output(TO_CONTROLLER)],
+                priority=LLDP_FLOW_PRIORITY,
+            )
+        except FsError:
+            pass  # already present (e.g. daemon restart)
+
+    # -- beaconing ---------------------------------------------------------------------
+
+    def send_beacons(self) -> None:
+        """One LLDP frame out of every known port of every switch."""
+        for switch in self._safe_switches():
+            try:
+                ports = self.yc.ports(switch)
+            except FsError:
+                continue
+            for port_name in ports:
+                port_no = _port_no(port_name)
+                if port_no is None:
+                    continue
+                frame = self._beacon(switch, port_no)
+                try:
+                    self.yc.packet_out(switch, [port_no], frame, tag=self.app_name)
+                    self.beacons_sent += 1
+                except FsError:
+                    continue
+
+    @staticmethod
+    def _beacon(switch: str, port_no: int) -> bytes:
+        lldp = Lldp(chassis_id=switch, port_id=str(port_no))
+        eth = Ethernet(dst=LLDP_MULTICAST_MAC, src=MacAddress(0x02_00_5E_00_00_01), eth_type=ETH_TYPE_LLDP)
+        return build_frame(eth, lldp)
+
+    # -- learning -----------------------------------------------------------------------
+
+    def handle_packet_in(self, event: PacketInEvent) -> None:
+        try:
+            frame = parse_frame(event.data)
+        except ValueError:
+            return
+        if not isinstance(frame.inner, Lldp):
+            return
+        self.beacons_received += 1
+        src = (frame.inner.chassis_id, int(frame.inner.port_id))
+        dst = (event.switch, event.in_port)
+        self._record(src, dst)
+        self._record(dst, src)
+
+    def _record(self, src: tuple[str, int], dst: tuple[str, int]) -> None:
+        known = self.links.get(src)
+        self.links[src] = DiscoveredLink(src=src, dst=dst, last_seen=self.sim.now)
+        if known is not None and known.dst == dst:
+            return
+        try:
+            self.yc.set_peer(src[0], src[1], dst[0], dst[1])
+        except FsError:
+            self.links.pop(src, None)
+
+    def prune_stale(self) -> None:
+        """Drop links that stopped beaconing (cable cut, port down)."""
+        deadline = self.sim.now - self.link_ttl
+        for src, link in list(self.links.items()):
+            if link.last_seen >= deadline:
+                continue
+            del self.links[src]
+            try:
+                peer_path = f"{self.yc.port_path(src[0], src[1])}/peer"
+                if self.sc.exists(peer_path):
+                    self.sc.unlink(peer_path)
+            except FsError:
+                continue
+
+    # -- queries -------------------------------------------------------------------------
+
+    def adjacency(self) -> dict[tuple[str, int], tuple[str, int]]:
+        """The live adjacency map: (switch, port) -> (switch, port)."""
+        return {src: link.dst for src, link in self.links.items()}
+
+
+def _port_no(port_name: str) -> int | None:
+    try:
+        return int(port_name.rsplit("_", 1)[-1])
+    except ValueError:
+        return None
+
+
+def read_topology(yc) -> dict[tuple[str, int], tuple[str, int]]:
+    """Read the adjacency map straight from the peer symlinks.
+
+    Any application can reconstruct the topology from the tree alone —
+    this helper is what the router daemon uses.
+    """
+    adjacency: dict[tuple[str, int], tuple[str, int]] = {}
+    for switch in yc.switches():
+        for port_name in yc.ports(switch):
+            port_no = _port_no(port_name)
+            if port_no is None:
+                continue
+            target = yc.peer_of(switch, port_name)
+            if target is None:
+                continue
+            parts = target.rstrip("/").split("/")
+            # .../switches/<sw>/ports/port_<n>
+            try:
+                peer_switch = parts[-3]
+                peer_port = _port_no(parts[-1])
+            except IndexError:
+                continue
+            if peer_port is not None:
+                adjacency[(switch, port_no)] = (peer_switch, peer_port)
+    return adjacency

@@ -1,0 +1,11 @@
+"""The control channel between drivers and switch agents.
+
+Replaces the TCP connections of a real deployment with reliable, in-order,
+latency-modelled byte streams on the simulator clock.  Both ends exchange
+raw bytes — the OpenFlow codecs above this layer do all framing — so the
+wire format is genuinely exercised end to end.
+"""
+
+from repro.controlchannel.channel import ControlConnection, connect
+
+__all__ = ["ControlConnection", "connect"]

@@ -1,0 +1,203 @@
+"""Flow actions: header rewrites and output.
+
+An empty action list drops the packet (OpenFlow semantics).  The yanc file
+form is one ``action.*`` file per action (paper figure 3: ``action.out``);
+:func:`parse_action` converts the file representation back into an action.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from ipaddress import IPv4Address
+
+from repro.netpkt.addr import MacAddress, ip
+from repro.netpkt.ethernet import Vlan
+from repro.netpkt.packet import ParsedFrame
+from repro.netpkt.transport import Tcp, Udp
+
+# Reserved output "ports" (OpenFlow 1.0 values).
+IN_PORT = 0xFFF8
+FLOOD = 0xFFFB
+ALL = 0xFFFC
+TO_CONTROLLER = 0xFFFD
+LOCAL = 0xFFFE
+
+_RESERVED_NAMES = {
+    "in_port": IN_PORT,
+    "flood": FLOOD,
+    "all": ALL,
+    "controller": TO_CONTROLLER,
+    "local": LOCAL,
+}
+_RESERVED_BY_VALUE = {v: k for k, v in _RESERVED_NAMES.items()}
+
+
+class Action:
+    """Base class; subclasses either rewrite headers or emit output."""
+
+    def apply(self, frame: ParsedFrame) -> None:
+        """Rewrite ``frame`` in place (output actions do nothing here)."""
+
+    def to_file(self) -> tuple[str, str]:
+        """Render as a yanc (``action.<name>``, content) pair."""
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class Output(Action):
+    """Send the packet out a port (or a reserved virtual port)."""
+
+    port: int
+
+    def to_file(self) -> tuple[str, str]:
+        return "action.out", _RESERVED_BY_VALUE.get(self.port, str(self.port))
+
+
+@dataclass(frozen=True)
+class SetDlSrc(Action):
+    """Rewrite the Ethernet source address."""
+
+    mac: MacAddress
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "mac", MacAddress(self.mac))
+
+    def apply(self, frame: ParsedFrame) -> None:
+        frame.eth.src = self.mac
+
+    def to_file(self) -> tuple[str, str]:
+        return "action.set_dl_src", str(self.mac)
+
+
+@dataclass(frozen=True)
+class SetDlDst(Action):
+    """Rewrite the Ethernet destination address."""
+
+    mac: MacAddress
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "mac", MacAddress(self.mac))
+
+    def apply(self, frame: ParsedFrame) -> None:
+        frame.eth.dst = self.mac
+
+    def to_file(self) -> tuple[str, str]:
+        return "action.set_dl_dst", str(self.mac)
+
+
+@dataclass(frozen=True)
+class SetNwSrc(Action):
+    """Rewrite the IPv4 source address (no-op on non-IP packets)."""
+
+    addr: IPv4Address
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "addr", ip(self.addr))
+
+    def apply(self, frame: ParsedFrame) -> None:
+        if frame.ipv4 is not None:
+            frame.ipv4.src = self.addr
+
+    def to_file(self) -> tuple[str, str]:
+        return "action.set_nw_src", str(self.addr)
+
+
+@dataclass(frozen=True)
+class SetNwDst(Action):
+    """Rewrite the IPv4 destination address (no-op on non-IP packets)."""
+
+    addr: IPv4Address
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "addr", ip(self.addr))
+
+    def apply(self, frame: ParsedFrame) -> None:
+        if frame.ipv4 is not None:
+            frame.ipv4.dst = self.addr
+
+    def to_file(self) -> tuple[str, str]:
+        return "action.set_nw_dst", str(self.addr)
+
+
+@dataclass(frozen=True)
+class SetTpSrc(Action):
+    """Rewrite the TCP/UDP source port."""
+
+    port: int
+
+    def apply(self, frame: ParsedFrame) -> None:
+        if isinstance(frame.inner, (Tcp, Udp)):
+            frame.inner.src_port = self.port
+
+    def to_file(self) -> tuple[str, str]:
+        return "action.set_tp_src", str(self.port)
+
+
+@dataclass(frozen=True)
+class SetTpDst(Action):
+    """Rewrite the TCP/UDP destination port."""
+
+    port: int
+
+    def apply(self, frame: ParsedFrame) -> None:
+        if isinstance(frame.inner, (Tcp, Udp)):
+            frame.inner.dst_port = self.port
+
+    def to_file(self) -> tuple[str, str]:
+        return "action.set_tp_dst", str(self.port)
+
+
+@dataclass(frozen=True)
+class SetVlan(Action):
+    """Set (or add) the 802.1Q VLAN id."""
+
+    vid: int
+
+    def apply(self, frame: ParsedFrame) -> None:
+        if frame.eth.vlan is None:
+            frame.eth.vlan = Vlan(vid=self.vid)
+        else:
+            frame.eth.vlan = Vlan(vid=self.vid, pcp=frame.eth.vlan.pcp, dei=frame.eth.vlan.dei)
+
+    def to_file(self) -> tuple[str, str]:
+        return "action.set_vlan", str(self.vid)
+
+
+@dataclass(frozen=True)
+class StripVlan(Action):
+    """Remove the 802.1Q tag."""
+
+    def apply(self, frame: ParsedFrame) -> None:
+        frame.eth.vlan = None
+
+    def to_file(self) -> tuple[str, str]:
+        return "action.strip_vlan", ""
+
+
+def parse_action(filename: str, content: str) -> Action:
+    """Parse one yanc ``action.*`` file back into an :class:`Action`."""
+    if not filename.startswith("action."):
+        raise ValueError(f"not an action file: {filename}")
+    kind = filename[len("action.") :]
+    content = content.strip()
+    if kind == "out":
+        if content in _RESERVED_NAMES:
+            return Output(_RESERVED_NAMES[content])
+        return Output(int(content, 0))
+    if kind == "set_dl_src":
+        return SetDlSrc(MacAddress(content))
+    if kind == "set_dl_dst":
+        return SetDlDst(MacAddress(content))
+    if kind == "set_nw_src":
+        return SetNwSrc(ip(content))
+    if kind == "set_nw_dst":
+        return SetNwDst(ip(content))
+    if kind == "set_tp_src":
+        return SetTpSrc(int(content, 0))
+    if kind == "set_tp_dst":
+        return SetTpDst(int(content, 0))
+    if kind == "set_vlan":
+        return SetVlan(int(content, 0))
+    if kind == "strip_vlan":
+        return StripVlan()
+    raise ValueError(f"unknown action kind: {kind}")

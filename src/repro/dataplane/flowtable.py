@@ -1,0 +1,151 @@
+"""The switch flow table: priority lookup, counters, timeouts."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+from repro.dataplane.actions import Action
+from repro.dataplane.match import Match
+from repro.netpkt.packet import FlowKey
+
+_entry_counter = itertools.count(1)
+
+
+class FlowRemovedReason(enum.Enum):
+    """Why an entry left the table (OpenFlow flow-removed reasons)."""
+
+    IDLE_TIMEOUT = "idle"
+    HARD_TIMEOUT = "hard"
+    DELETE = "delete"
+
+
+@dataclass
+class FlowEntry:
+    """One table entry: match, priority, actions, timeouts, counters."""
+
+    match: Match
+    actions: list[Action]
+    priority: int = 0x8000
+    cookie: int = 0
+    idle_timeout: float = 0.0  # 0 = never
+    hard_timeout: float = 0.0  # 0 = never
+    installed_at: float = 0.0
+    packet_count: int = 0
+    byte_count: int = 0
+    last_hit: float = 0.0
+    entry_id: int = field(default_factory=lambda: next(_entry_counter))
+
+    def hit(self, now: float, nbytes: int) -> None:
+        """Record a matching packet."""
+        self.packet_count += 1
+        self.byte_count += nbytes
+        self.last_hit = now
+
+    def expired_reason(self, now: float) -> FlowRemovedReason | None:
+        """Timeout status at ``now`` (None when still live)."""
+        if self.hard_timeout and now - self.installed_at >= self.hard_timeout:
+            return FlowRemovedReason.HARD_TIMEOUT
+        reference = self.last_hit or self.installed_at
+        if self.idle_timeout and now - reference >= self.idle_timeout:
+            return FlowRemovedReason.IDLE_TIMEOUT
+        return None
+
+
+class FlowTable:
+    """A priority-ordered flow table.
+
+    Lookup returns the highest-priority matching entry; ties break toward
+    the earliest-installed entry, keeping behaviour deterministic.
+    """
+
+    def __init__(self, table_id: int = 0) -> None:
+        self.table_id = table_id
+        self._entries: list[FlowEntry] = []
+        self.lookup_count = 0
+        self.matched_count = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def entries(self) -> list[FlowEntry]:
+        """All entries, highest priority first."""
+        return sorted(self._entries, key=lambda e: (-e.priority, e.entry_id))
+
+    def install(self, entry: FlowEntry, now: float = 0.0, *, replace: bool = True) -> FlowEntry:
+        """Add an entry.
+
+        With ``replace`` (OpenFlow ADD semantics) an existing entry with
+        identical match and priority is overwritten, keeping its counters
+        reset.
+        """
+        entry.installed_at = now
+        if replace:
+            for existing in list(self._entries):
+                if existing.priority == entry.priority and existing.match == entry.match:
+                    self._entries.remove(existing)
+        self._entries.append(entry)
+        return entry
+
+    def lookup(self, key: FlowKey, in_port: int) -> FlowEntry | None:
+        """Find the winning entry for a packet (no counter updates)."""
+        self.lookup_count += 1
+        best: FlowEntry | None = None
+        for entry in self._entries:
+            if not entry.match.matches(key, in_port):
+                continue
+            if best is None or (entry.priority, -entry.entry_id) > (best.priority, -best.entry_id):
+                best = entry
+        if best is not None:
+            self.matched_count += 1
+        return best
+
+    def modify(self, match: Match, actions: list[Action], *, strict: bool = False, priority: int = 0x8000) -> int:
+        """OpenFlow MODIFY: rewrite actions on matching entries."""
+        changed = 0
+        for entry in self._entries:
+            if self._selected(entry, match, strict, priority):
+                entry.actions = list(actions)
+                changed += 1
+        return changed
+
+    def delete(self, match: Match, *, strict: bool = False, priority: int = 0x8000) -> list[FlowEntry]:
+        """OpenFlow DELETE: remove matching entries; returns removals."""
+        removed = [e for e in self._entries if self._selected(e, match, strict, priority)]
+        for entry in removed:
+            self._entries.remove(entry)
+        return removed
+
+    def remove_entry(self, entry: FlowEntry) -> bool:
+        """Remove a specific entry object; True when it was present."""
+        if entry in self._entries:
+            self._entries.remove(entry)
+            return True
+        return False
+
+    @staticmethod
+    def _selected(entry: FlowEntry, match: Match, strict: bool, priority: int) -> bool:
+        if strict:
+            return entry.match == match and entry.priority == priority
+        return entry.match.is_subset_of(match)
+
+    def expire(self, now: float) -> list[tuple[FlowEntry, FlowRemovedReason]]:
+        """Remove and return all timed-out entries."""
+        out = []
+        for entry in list(self._entries):
+            reason = entry.expired_reason(now)
+            if reason is not None:
+                self._entries.remove(entry)
+                out.append((entry, reason))
+        return out
+
+    def aggregate_stats(self) -> dict[str, int]:
+        """OpenFlow aggregate-stats triple plus lookup counters."""
+        return {
+            "flow_count": len(self._entries),
+            "packet_count": sum(e.packet_count for e in self._entries),
+            "byte_count": sum(e.byte_count for e in self._entries),
+            "lookup_count": self.lookup_count,
+            "matched_count": self.matched_count,
+        }

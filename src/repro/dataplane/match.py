@@ -1,0 +1,154 @@
+"""Wildcard-capable flow matching (OpenFlow 1.0 semantics).
+
+A :class:`Match` constrains any subset of the 12-tuple; absent fields are
+wildcards — exactly the yanc convention where "absence of a match file
+implies a wildcard" (paper section 3.4).  IP fields take CIDR prefixes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from ipaddress import IPv4Network
+
+from repro.netpkt.addr import MacAddress, cidr
+from repro.netpkt.packet import FlowKey
+
+#: The yanc file names for each match field (``match.<name>``).
+MATCH_FIELD_NAMES = (
+    "in_port",
+    "dl_src",
+    "dl_dst",
+    "dl_type",
+    "dl_vlan",
+    "dl_vlan_pcp",
+    "nw_src",
+    "nw_dst",
+    "nw_proto",
+    "nw_tos",
+    "tp_src",
+    "tp_dst",
+)
+
+
+@dataclass(frozen=True)
+class Match:
+    """A wildcarded match over the OpenFlow 1.0 tuple.
+
+    ``None`` means wildcard.  ``nw_src``/``nw_dst`` are CIDR networks so a
+    single entry covers a prefix.
+    """
+
+    in_port: int | None = None
+    dl_src: MacAddress | None = None
+    dl_dst: MacAddress | None = None
+    dl_type: int | None = None
+    dl_vlan: int | None = None
+    dl_vlan_pcp: int | None = None
+    nw_src: IPv4Network | None = None
+    nw_dst: IPv4Network | None = None
+    nw_proto: int | None = None
+    nw_tos: int | None = None
+    tp_src: int | None = None
+    tp_dst: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.dl_src is not None:
+            object.__setattr__(self, "dl_src", MacAddress(self.dl_src))
+        if self.dl_dst is not None:
+            object.__setattr__(self, "dl_dst", MacAddress(self.dl_dst))
+        if self.nw_src is not None:
+            object.__setattr__(self, "nw_src", cidr(self.nw_src))
+        if self.nw_dst is not None:
+            object.__setattr__(self, "nw_dst", cidr(self.nw_dst))
+
+    @classmethod
+    def exact(cls, key: FlowKey, in_port: int | None = None) -> "Match":
+        """An exact match on every field ``key`` carries."""
+        values = key.field_values()
+        for name in ("nw_src", "nw_dst"):
+            if name in values:
+                values[name] = IPv4Network(f"{values[name]}/32")
+        return cls(in_port=in_port, **values)
+
+    def matches(self, key: FlowKey, in_port: int) -> bool:
+        """Does a packet with ``key`` arriving on ``in_port`` match?"""
+        if self.in_port is not None and self.in_port != in_port:
+            return False
+        if self.dl_src is not None and self.dl_src != key.dl_src:
+            return False
+        if self.dl_dst is not None and self.dl_dst != key.dl_dst:
+            return False
+        if self.dl_type is not None and self.dl_type != key.dl_type:
+            return False
+        if self.dl_vlan is not None and self.dl_vlan != key.dl_vlan:
+            return False
+        if self.dl_vlan_pcp is not None and self.dl_vlan_pcp != key.dl_vlan_pcp:
+            return False
+        if self.nw_src is not None and (key.nw_src is None or key.nw_src not in self.nw_src):
+            return False
+        if self.nw_dst is not None and (key.nw_dst is None or key.nw_dst not in self.nw_dst):
+            return False
+        if self.nw_proto is not None and self.nw_proto != key.nw_proto:
+            return False
+        if self.nw_tos is not None and self.nw_tos != key.nw_tos:
+            return False
+        if self.tp_src is not None and self.tp_src != key.tp_src:
+            return False
+        if self.tp_dst is not None and self.tp_dst != key.tp_dst:
+            return False
+        return True
+
+    def is_subset_of(self, other: "Match") -> bool:
+        """True when every packet matching self also matches ``other``.
+
+        Used for OpenFlow's non-strict delete/modify semantics.
+        """
+        for f in fields(self):
+            mine = getattr(self, f.name)
+            theirs = getattr(other, f.name)
+            if theirs is None:
+                continue
+            if mine is None:
+                return False
+            if f.name in ("nw_src", "nw_dst"):
+                if not mine.subnet_of(theirs):
+                    return False
+            elif mine != theirs:
+                return False
+        return True
+
+    def specified_fields(self) -> dict[str, object]:
+        """The non-wildcard fields as a name -> value mapping."""
+        return {f.name: getattr(self, f.name) for f in fields(self) if getattr(self, f.name) is not None}
+
+    def to_files(self) -> dict[str, str]:
+        """Render as yanc ``match.<field>`` file contents (paper §3.4)."""
+        out = {}
+        for name, value in self.specified_fields().items():
+            out[f"match.{name}"] = str(value)
+        return out
+
+    @classmethod
+    def from_files(cls, files: dict[str, str]) -> "Match":
+        """Parse yanc ``match.<field>`` file contents back into a Match."""
+        kwargs: dict[str, object] = {}
+        for filename, text in files.items():
+            if not filename.startswith("match."):
+                continue
+            name = filename[len("match.") :]
+            if name not in MATCH_FIELD_NAMES:
+                raise ValueError(f"unknown match field: {name}")
+            text = text.strip()
+            if name in ("dl_src", "dl_dst"):
+                kwargs[name] = MacAddress(text)
+            elif name in ("nw_src", "nw_dst"):
+                kwargs[name] = cidr(text)
+            elif name == "dl_type":
+                kwargs[name] = int(text, 0)
+            else:
+                kwargs[name] = int(text, 0)
+        return cls(**kwargs)  # type: ignore[arg-type]
+
+    def __str__(self) -> str:
+        parts = [f"{k}={v}" for k, v in self.specified_fields().items()]
+        return "Match(" + ", ".join(parts) + ")" if parts else "Match(*)"

@@ -1,0 +1,104 @@
+"""The network container: switches, hosts, and the links between them."""
+
+from __future__ import annotations
+
+from ipaddress import IPv4Address
+
+from repro.dataplane.host import HostSim
+from repro.dataplane.link import Link
+from repro.dataplane.switch import PortSim, SwitchSim
+from repro.netpkt.addr import MacAddress, ip
+from repro.sim import Simulator
+
+
+class Network:
+    """A set of simulated switches, hosts, and links on one clock."""
+
+    def __init__(self, sim: Simulator | None = None, *, default_latency: float = 1e-4) -> None:
+        self.sim = sim or Simulator()
+        self.default_latency = default_latency
+        self.switches: dict[str, SwitchSim] = {}
+        self.hosts: dict[str, HostSim] = {}
+        self.links: list[Link] = []
+        self._next_dpid = 1
+        self._next_host = 1
+
+    # -- element creation ------------------------------------------------------------
+
+    def add_switch(self, name: str = "", *, dpid: int | None = None, num_tables: int = 1) -> SwitchSim:
+        """Create a switch (auto dpid/name when omitted)."""
+        if dpid is None:
+            dpid = self._next_dpid
+        self._next_dpid = max(self._next_dpid, dpid) + 1
+        name = name or f"sw{dpid}"
+        if name in self.switches:
+            raise ValueError(f"duplicate switch name {name!r}")
+        switch = SwitchSim(dpid, name, self.sim, num_tables=num_tables)
+        self.switches[name] = switch
+        return switch
+
+    def add_host(self, name: str = "", *, ip_addr: IPv4Address | str | None = None, mac: MacAddress | None = None) -> HostSim:
+        """Create a host (auto addressing in 10.0.0.0/8 when omitted)."""
+        index = self._next_host
+        self._next_host += 1
+        name = name or f"h{index}"
+        if name in self.hosts:
+            raise ValueError(f"duplicate host name {name!r}")
+        if ip_addr is None:
+            ip_addr = f"10.0.{index // 256}.{index % 256}"
+        if mac is None:
+            mac = MacAddress(0x0A_00_00_00_00_00 + index)
+        host = HostSim(name, mac, ip(ip_addr), self.sim)
+        self.hosts[name] = host
+        return host
+
+    # -- wiring ------------------------------------------------------------------------
+
+    def link_switches(self, a: SwitchSim, b: SwitchSim, *, latency: float | None = None) -> tuple[PortSim, PortSim]:
+        """Join two switches with a new port on each."""
+        port_a = a.add_port()
+        port_b = b.add_port()
+        link = Link(self.sim, port_a, port_b, latency=self.default_latency if latency is None else latency)
+        port_a.link = link
+        port_b.link = link
+        self.links.append(link)
+        return port_a, port_b
+
+    def attach_host(self, host: HostSim, switch: SwitchSim, *, latency: float | None = None) -> PortSim:
+        """Join a host to a switch with a new switch port."""
+        port = switch.add_port()
+        link = Link(self.sim, port, host, latency=self.default_latency if latency is None else latency)
+        port.link = link
+        host.link = link
+        self.links.append(link)
+        return port
+
+    # -- queries -------------------------------------------------------------------------
+
+    def switch_port_peers(self) -> dict[tuple[str, int], tuple[str, int]]:
+        """Ground-truth inter-switch adjacency: (sw, port) -> (sw, port).
+
+        Discovery tests compare the topology daemon's symlinks to this.
+        """
+        peers: dict[tuple[str, int], tuple[str, int]] = {}
+        for link in self.links:
+            if isinstance(link.a, PortSim) and isinstance(link.b, PortSim):
+                key_a = (link.a.switch.name, link.a.port_no)
+                key_b = (link.b.switch.name, link.b.port_no)
+                peers[key_a] = key_b
+                peers[key_b] = key_a
+        return peers
+
+    def host_ports(self) -> dict[str, tuple[str, int]]:
+        """Where each host attaches: host name -> (switch, port)."""
+        out: dict[str, tuple[str, int]] = {}
+        for link in self.links:
+            endpoints = (link.a, link.b)
+            for endpoint, other in (endpoints, endpoints[::-1]):
+                if isinstance(endpoint, HostSim) and isinstance(other, PortSim):
+                    out[endpoint.name] = (other.switch.name, other.port_no)
+        return out
+
+    def run(self, duration: float = 1.0) -> int:
+        """Advance the shared clock; returns events fired."""
+        return self.sim.run_for(duration)

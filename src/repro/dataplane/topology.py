@@ -1,0 +1,117 @@
+"""Topology builders for tests, examples, and benchmarks."""
+
+from __future__ import annotations
+
+import random
+
+from repro.dataplane.network import Network
+from repro.sim import Simulator
+
+
+def build_linear(num_switches: int, *, hosts_per_switch: int = 1, sim: Simulator | None = None) -> Network:
+    """A chain: sw1 - sw2 - ... - swN, each with local hosts."""
+    if num_switches < 1:
+        raise ValueError("need at least one switch")
+    net = Network(sim)
+    switches = [net.add_switch() for _ in range(num_switches)]
+    for left, right in zip(switches, switches[1:]):
+        net.link_switches(left, right)
+    for switch in switches:
+        for _ in range(hosts_per_switch):
+            net.attach_host(net.add_host(), switch)
+    return net
+
+
+def build_ring(num_switches: int, *, hosts_per_switch: int = 1, sim: Simulator | None = None) -> Network:
+    """A cycle of switches (exercises loop handling in discovery/routing)."""
+    if num_switches < 3:
+        raise ValueError("a ring needs at least three switches")
+    net = Network(sim)
+    switches = [net.add_switch() for _ in range(num_switches)]
+    for index, switch in enumerate(switches):
+        net.link_switches(switch, switches[(index + 1) % num_switches])
+    for switch in switches:
+        for _ in range(hosts_per_switch):
+            net.attach_host(net.add_host(), switch)
+    return net
+
+
+def build_star(num_leaves: int, *, sim: Simulator | None = None) -> Network:
+    """One core switch with ``num_leaves`` leaf switches, one host each."""
+    if num_leaves < 1:
+        raise ValueError("need at least one leaf")
+    net = Network(sim)
+    core = net.add_switch("core")
+    for _ in range(num_leaves):
+        leaf = net.add_switch()
+        net.link_switches(core, leaf)
+        net.attach_host(net.add_host(), leaf)
+    return net
+
+
+def build_tree(depth: int, fanout: int, *, sim: Simulator | None = None) -> Network:
+    """A complete tree of switches with hosts on the leaves."""
+    if depth < 1 or fanout < 1:
+        raise ValueError("depth and fanout must be >= 1")
+    net = Network(sim)
+    root = net.add_switch()
+    frontier = [root]
+    for _ in range(depth - 1):
+        next_frontier = []
+        for parent in frontier:
+            for _ in range(fanout):
+                child = net.add_switch()
+                net.link_switches(parent, child)
+                next_frontier.append(child)
+        frontier = next_frontier
+    for leaf in frontier:
+        net.attach_host(net.add_host(), leaf)
+    return net
+
+
+def build_fat_tree(k: int = 4, *, sim: Simulator | None = None) -> Network:
+    """A k-ary fat tree (k even): (k/2)^2 cores, k pods, (k/2)^2*k hosts...
+
+    Scaled-down standard datacenter topology: each pod has k/2 aggregation
+    and k/2 edge switches; each edge switch hosts k/2 hosts.
+    """
+    if k < 2 or k % 2:
+        raise ValueError("fat tree parameter k must be even and >= 2")
+    net = Network(sim)
+    half = k // 2
+    cores = [net.add_switch(f"core{i + 1}") for i in range(half * half)]
+    for pod in range(k):
+        aggs = [net.add_switch(f"p{pod}a{i + 1}") for i in range(half)]
+        edges = [net.add_switch(f"p{pod}e{i + 1}") for i in range(half)]
+        for agg in aggs:
+            for edge in edges:
+                net.link_switches(agg, edge)
+        for agg_index, agg in enumerate(aggs):
+            for core_index in range(half):
+                net.link_switches(agg, cores[agg_index * half + core_index])
+        for edge in edges:
+            for _ in range(half):
+                net.attach_host(net.add_host(), edge)
+    return net
+
+
+def build_random(num_switches: int, *, edge_probability: float = 0.3, seed: int = 7, sim: Simulator | None = None) -> Network:
+    """A connected Erdős–Rényi-ish random switch graph with one host each.
+
+    A spanning chain guarantees connectivity; extra edges appear with
+    ``edge_probability`` under a seeded RNG so runs are reproducible.
+    """
+    if num_switches < 1:
+        raise ValueError("need at least one switch")
+    rng = random.Random(seed)
+    net = Network(sim)
+    switches = [net.add_switch() for _ in range(num_switches)]
+    for left, right in zip(switches, switches[1:]):
+        net.link_switches(left, right)
+    for i in range(num_switches):
+        for j in range(i + 2, num_switches):
+            if rng.random() < edge_probability:
+                net.link_switches(switches[i], switches[j])
+    for switch in switches:
+        net.attach_host(net.add_host(), switch)
+    return net

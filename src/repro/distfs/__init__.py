@@ -1,0 +1,28 @@
+"""Distributed control via layered file systems (paper section 6).
+
+"You can layer any number of distributed file systems on top of the yanc
+file system and arrive at a distributed SDN controller."
+
+* :class:`FileServer` — exports a subtree (usually the master's /net).
+* :class:`RemoteFs` — the mountable client with three consistency modes.
+* :class:`RpcChannel` — the priced RPC transport.
+* :class:`ControllerCluster` — master + N workers, workload distribution.
+"""
+
+from repro.distfs.client import RemoteDir, RemoteFile, RemoteFs, RemoteSymlink
+from repro.distfs.cluster import ControllerCluster, WorkerMachine
+from repro.distfs.device import DeviceRuntime
+from repro.distfs.rpc import RpcChannel
+from repro.distfs.server import FileServer
+
+__all__ = [
+    "RemoteDir",
+    "RemoteFile",
+    "RemoteFs",
+    "RemoteSymlink",
+    "RpcChannel",
+    "FileServer",
+    "ControllerCluster",
+    "WorkerMachine",
+    "DeviceRuntime",
+]

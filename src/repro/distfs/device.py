@@ -1,0 +1,214 @@
+"""Devices running yanc themselves (paper section 7.1).
+
+"These devices can run yanc and participate in a distributed file system
+rather than have a bespoke communication protocol ... when an application
+on another machine writes to a file representing a flow entry, that will
+then show up on the device (since it's a distributed file system), and the
+device can read it and push it into the hardware tables."
+
+A :class:`DeviceRuntime` is a switch with a brain: its own VFS, the
+master's ``/net`` mounted over the remote FS, and a resident agent that
+
+* polls its own switch directory and pushes committed flows straight into
+  the local tables — **no OpenFlow channel exists at all**;
+* honours ``config.port_down`` writes;
+* publishes packet-ins into the (remote) per-app event buffers and its
+  counters back into the tree.
+
+Polling replaces inotify because change notification does not cross the
+distributed FS (true of NFS; see the distfs module docs).
+"""
+
+from __future__ import annotations
+
+from repro.dataplane.flowtable import FlowEntry, FlowRemovedReason
+from repro.dataplane.switch import PacketInReason, PortSim, SwitchSim
+from repro.distfs.client import RemoteFs
+from repro.distfs.rpc import RpcChannel
+from repro.distfs.server import FileServer
+from repro.runtime import ControllerHost
+from repro.vfs.errors import FileExists, FsError
+from repro.vfs.syscalls import Syscalls
+from repro.vfs.vfs import VirtualFileSystem
+from repro.yancfs.client import YancClient
+
+MAX_PENDING_EVENTS = 256
+
+
+class DeviceRuntime:
+    """One self-controlled switch over a remote-mounted /net."""
+
+    def __init__(
+        self,
+        switch: SwitchSim,
+        master: ControllerHost,
+        *,
+        server: FileServer | None = None,
+        poll_interval: float = 0.1,
+        rpc_latency: float = 2e-4,
+        consistency: str = "strict",
+    ) -> None:
+        self.switch = switch
+        self.master = master
+        self.sim = master.sim
+        self.poll_interval = poll_interval
+        self.server = server or FileServer(master.root_sc.spawn(), master.mount_point)
+        self.vfs = VirtualFileSystem(clock=lambda: self.sim.now)
+        self.sc = Syscalls(self.vfs)
+        self.channel = RpcChannel(self.server.handle, latency=rpc_latency, counters=self.vfs.counters, name=f"dev-{switch.name}")
+        self.fs = RemoteFs(self.channel, consistency=consistency, clock=lambda: self.sim.now)
+        self.sc.mkdir("/net")
+        self.sc.mount("/net", self.fs, source="master:/net")
+        self.yc = YancClient(self.sc)
+        self.fs_name = f"sw{switch.dpid}"
+        self._flow_versions: dict[str, int] = {}
+        self._installed: dict[str, FlowEntry] = {}
+        self._event_seq = 0
+        self._task = None
+        self.flows_applied = 0
+        self.events_published = 0
+        switch.controller = self
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def start(self) -> "DeviceRuntime":
+        """Register in the tree and begin the poll loop."""
+        path = self.yc.switch_path(self.fs_name)
+        if not self.sc.exists(path):
+            try:
+                self.yc.create_switch(self.fs_name, dpid=self.switch.dpid)
+            except FileExists:
+                pass
+        for port_no in sorted(self.switch.ports):
+            if not self.sc.exists(self.yc.port_path(self.fs_name, port_no)):
+                self.yc.create_port(self.fs_name, port_no)
+        self._task = self.sim.every(self.poll_interval, self.poll, start_delay=0.0)
+        return self
+
+    def stop(self) -> None:
+        """Stop polling (the tree keeps the device's last-known state)."""
+        if self._task is not None:
+            self._task.stop()
+            self._task = None
+        if self.switch.controller is self:
+            self.switch.controller = None
+
+    # -- the poll loop -----------------------------------------------------------------
+
+    def poll(self) -> None:
+        """One reconciliation round: flows, port config, counters."""
+        try:
+            flow_names = set(self.yc.flows(self.fs_name))
+        except FsError:
+            return
+        # removed flow directories -> remove hardware entries
+        for name in list(self._installed):
+            if name not in flow_names:
+                entry = self._installed.pop(name)
+                self.switch.table.remove_entry(entry)
+                self._flow_versions.pop(name, None)
+        # new/updated commits -> (re)install
+        for name in flow_names:
+            try:
+                spec = self.yc.read_flow(self.fs_name, name)
+            except FsError:
+                continue
+            if spec.version <= self._flow_versions.get(name, 0):
+                continue
+            previous = self._installed.get(name)
+            if previous is not None:
+                self.switch.table.remove_entry(previous)
+            entry = FlowEntry(
+                match=spec.match,
+                actions=list(spec.actions),
+                priority=spec.priority,
+                idle_timeout=spec.idle_timeout,
+                hard_timeout=spec.hard_timeout,
+            )
+            self.switch.install_flow(entry)
+            self._installed[name] = entry
+            self._flow_versions[name] = spec.version
+            self.flows_applied += 1
+        self._apply_port_config()
+        self._publish_counters()
+
+    def _apply_port_config(self) -> None:
+        for port_no, port in self.switch.ports.items():
+            try:
+                down = self.yc.port_is_down(self.fs_name, port_no)
+            except FsError:
+                continue
+            if down == port.admin_up:
+                port.set_admin_up(not down)
+
+    def _publish_counters(self) -> None:
+        for name, entry in self._installed.items():
+            base = f"{self.yc.flow_path(self.fs_name, name)}/counters"
+            try:
+                self.sc.write_text(f"{base}/packet_count", str(entry.packet_count))
+                self.sc.write_text(f"{base}/byte_count", str(entry.byte_count))
+            except FsError:
+                continue
+
+    # -- ControllerHooks (the switch talks to its own brain) ----------------------------
+
+    def packet_in(
+        self,
+        switch: SwitchSim,
+        in_port: int,
+        reason: PacketInReason,
+        buffer_id: int,
+        data: bytes,
+        total_len: int,
+    ) -> None:
+        """Publish a punt into every subscribed app buffer, remotely."""
+        try:
+            apps = self.sc.listdir(f"{self.yc.switch_path(self.fs_name)}/events")
+        except FsError:
+            return
+        self._event_seq += 1
+        wire_reason = "no_match" if reason is PacketInReason.NO_MATCH else "action"
+        for app in apps:
+            try:
+                buffer_path = self.yc.events_path(self.fs_name, app)
+                if len(self.sc.listdir(buffer_path)) >= MAX_PENDING_EVENTS:
+                    continue
+                self.yc.write_packet_in(
+                    self.fs_name,
+                    app,
+                    self._event_seq,
+                    in_port=in_port,
+                    reason=wire_reason,
+                    buffer_id=0xFFFFFFFF,  # device-local buffers don't cross the fs
+                    total_len=total_len,
+                    data=data,
+                )
+                self.events_published += 1
+            except FsError:
+                continue
+
+    def flow_removed(self, switch: SwitchSim, entry: FlowEntry, reason: FlowRemovedReason) -> None:
+        """A local timeout: retire the corresponding tree entry."""
+        for name, installed in list(self._installed.items()):
+            if installed is entry:
+                self._installed.pop(name)
+                self._flow_versions.pop(name, None)
+                try:
+                    self.yc.delete_flow(self.fs_name, name)
+                except FsError:
+                    pass
+                return
+
+    def port_status(self, switch: SwitchSim, port: PortSim, reason: str) -> None:
+        """Reflect local port changes into the tree."""
+        path = self.yc.port_path(self.fs_name, port.port_no)
+        try:
+            if reason == "delete":
+                if self.sc.exists(path):
+                    self.sc.rmdir(path)
+                return
+            if not self.sc.exists(path):
+                self.yc.create_port(self.fs_name, port.port_no)
+            self.sc.write_text(f"{path}/config.port_status", "up" if port.link_up else "down")
+        except FsError:
+            pass

@@ -1,0 +1,134 @@
+"""The file server: exports a subtree of one host's VFS.
+
+The exported subtree is usually ``/net`` on the master controller, so any
+number of machines can mount the yanc tree remotely — the paper's §6
+proof of concept ("we mounted NFS on top of yanc and distributed
+computational workload among multiple machines").
+"""
+
+from __future__ import annotations
+
+from repro.vfs.errors import FsError, InvalidArgument
+from repro.vfs.syscalls import Syscalls
+
+
+class FileServer:
+    """Dispatches remote-FS operations against a local subtree."""
+
+    def __init__(self, sc: Syscalls, export_root: str, *, service_time: float = 5e-5) -> None:
+        self.sc = sc
+        self.export_root = export_root.rstrip("/") or "/"
+        self.ops_served = 0
+        #: CPU seconds the server spends per operation; the shared-server
+        #: bottleneck that makes distributed-controller scaling sub-linear.
+        self.service_time = service_time
+        self.busy_time = 0.0
+
+    def _resolve(self, rpath: str) -> str:
+        if ".." in rpath.split("/"):
+            raise InvalidArgument(rpath, "path escapes the export")
+        rpath = rpath.strip("/")
+        return f"{self.export_root}/{rpath}" if rpath else self.export_root
+
+    def handle(self, op: str, args: tuple) -> object:
+        """The RPC entry point (FsError propagates to the client)."""
+        self.ops_served += 1
+        self.busy_time += self.service_time
+        method = getattr(self, f"op_{op}", None)
+        if method is None:
+            raise InvalidArgument(op, "unknown remote-fs operation")
+        return method(*args)
+
+    # -- operations ----------------------------------------------------------------
+
+    def op_readdir(self, rpath: str) -> list[tuple]:
+        """List (name, type, mode, uid, gid, size, symlink-target, consistency).
+
+        The last element carries the ``user.consistency`` extended
+        attribute (empty when unset): the paper's §5.1 plan — "we plan on
+        utilizing [xattrs] to specify consistency requirements for various
+        network resources" — so remote clients can honour per-file
+        consistency without extra round trips.
+        """
+        path = self._resolve(rpath)
+        entries = []
+        for name in self.sc.listdir(path):
+            child = f"{path}/{name}"
+            st = self.sc.lstat(child)
+            target = self.sc.readlink(child) if st.is_symlink else ""
+            try:
+                consistency = self.sc.getxattr(child, "user.consistency").decode()
+            except FsError:
+                consistency = ""
+            entries.append((name, st.ftype.value, st.mode, st.uid, st.gid, st.size, target, consistency))
+        return entries
+
+    def op_getxattr(self, rpath: str, name: str) -> bytes:
+        """Read an extended attribute."""
+        return self.sc.getxattr(self._resolve(rpath), name)
+
+    def op_setxattr(self, rpath: str, name: str, value: bytes) -> int:
+        """Set an extended attribute."""
+        self.sc.setxattr(self._resolve(rpath), name, value)
+        return 0
+
+    def op_listxattr(self, rpath: str) -> list[str]:
+        """List extended attribute names."""
+        return self.sc.listxattr(self._resolve(rpath))
+
+    def op_stat(self, rpath: str) -> tuple:
+        """(type, mode, uid, gid, size)."""
+        st = self.sc.lstat(self._resolve(rpath))
+        return (st.ftype.value, st.mode, st.uid, st.gid, st.size)
+
+    def op_read(self, rpath: str) -> bytes:
+        """Whole-file read."""
+        return self.sc.read_bytes(self._resolve(rpath))
+
+    def op_write(self, rpath: str, data: bytes) -> int:
+        """Whole-file replace (open-write-close server-side, so yancfs
+        validation and commit semantics run exactly as for local apps)."""
+        return self.sc.write_bytes(self._resolve(rpath), data)
+
+    def op_append(self, rpath: str, data: bytes) -> int:
+        """Append."""
+        return self.sc.write_bytes(self._resolve(rpath), data, append=True)
+
+    def op_truncate(self, rpath: str, size: int) -> int:
+        """Truncate."""
+        self.sc.truncate(self._resolve(rpath), size)
+        return 0
+
+    def op_mkdir(self, rpath: str) -> int:
+        """mkdir (semantic population happens server-side)."""
+        self.sc.mkdir(self._resolve(rpath))
+        return 0
+
+    def op_create(self, rpath: str) -> int:
+        """Create an empty regular file."""
+        self.sc.write_bytes(self._resolve(rpath), b"")
+        return 0
+
+    def op_symlink(self, rpath: str, target: str) -> int:
+        """Create a symlink."""
+        self.sc.symlink(target, self._resolve(rpath))
+        return 0
+
+    def op_readlink(self, rpath: str) -> str:
+        """Read a symlink target."""
+        return self.sc.readlink(self._resolve(rpath))
+
+    def op_unlink(self, rpath: str) -> int:
+        """Remove a non-directory."""
+        self.sc.unlink(self._resolve(rpath))
+        return 0
+
+    def op_rmdir(self, rpath: str) -> int:
+        """Remove a directory (recursive where the object allows it)."""
+        self.sc.rmdir(self._resolve(rpath))
+        return 0
+
+    def op_rename(self, old: str, new: str) -> int:
+        """Rename within the export."""
+        self.sc.rename(self._resolve(old), self._resolve(new))
+        return 0

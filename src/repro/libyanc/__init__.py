@@ -1,0 +1,21 @@
+"""libyanc: the shared-memory fastpath of paper section 8.1.
+
+The file interface pays per-access system calls; libyanc is "a set of
+network-centric library calls atop a shared memory system" providing
+
+* a fastpath for creating flow entries **atomically and without any
+  context switches** (:meth:`LibYanc.create_flow` touches the store
+  directly — in this reproduction, the same address space stands in for
+  the mapped shared-memory segment), and
+* **zero-copy passing of bulk data** — packet-in buffers — among
+  applications (:class:`ShmRing`).
+
+Notify events still fire for every mutation (the store emits them itself),
+so drivers and watchers cannot tell whether a flow arrived via ``echo`` or
+via libyanc — only the cost differs.
+"""
+
+from repro.libyanc.fastpath import LibYanc
+from repro.libyanc.shmring import ShmRing
+
+__all__ = ["LibYanc", "ShmRing"]

@@ -1,0 +1,13 @@
+"""Middleboxes under SDN principles (paper section 7.2).
+
+A stateful NAT device whose connection table is exposed as state-entry
+directories in the tree; ``cp`` and ``mv`` on those directories duplicate
+and migrate live connections between instances — "we can use command line
+utilities such as cp or mv to move state around rather than custom
+protocols."
+"""
+
+from repro.middlebox.device import NatEntry, NatMiddlebox
+from repro.middlebox.driver import MiddleboxDriver
+
+__all__ = ["NatEntry", "NatMiddlebox", "MiddleboxDriver"]

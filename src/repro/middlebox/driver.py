@@ -1,0 +1,212 @@
+"""The middlebox driver: device state ⇄ the file system (§7.2).
+
+"For a middlebox with fixed functionality, but exposing its state through
+a standardized protocol, a driver can be written to populate and interact
+with the file system and take immediate advantage of yanc."
+
+One :class:`MiddleboxDriver` can manage several devices.  For each it
+mirrors the connection table under ``/net/middleboxes/<name>/state/`` and
+keeps the mapping bidirectional:
+
+* device -> tree: new/removed bindings appear/disappear as state entry
+  directories; counters sync periodically;
+* tree -> device: a state entry created (``cp``), moved in (``mv``), or
+  deleted under any managed middlebox is installed into / removed from
+  that device — which is exactly how ``mv`` *migrates a live connection*
+  between instances.
+"""
+
+from __future__ import annotations
+
+from ipaddress import IPv4Address
+
+from repro.middlebox.device import NatEntry, NatMiddlebox
+from repro.netpkt.ipv4 import IPPROTO_TCP, IPPROTO_UDP
+from repro.sim import Simulator
+from repro.vfs.errors import FileExists, FsError
+from repro.vfs.notify import EventMask
+from repro.vfs.syscalls import Syscalls
+
+_STATE_MASK = (
+    EventMask.IN_CREATE
+    | EventMask.IN_DELETE
+    | EventMask.IN_MOVED_FROM
+    | EventMask.IN_MOVED_TO
+)
+_ENTRY_MASK = EventMask.IN_CLOSE_WRITE
+
+_PROTO_BY_NAME = {"tcp": IPPROTO_TCP, "udp": IPPROTO_UDP}
+_NAME_BY_PROTO = {value: key for key, value in _PROTO_BY_NAME.items()}
+
+
+class MiddleboxDriver:
+    """FS <-> device synchronization for stateful middleboxes."""
+
+    def __init__(self, sc: Syscalls, sim: Simulator, *, root: str = "/net", counter_interval: float = 1.0) -> None:
+        self.sc = sc
+        self.sim = sim
+        self.root = root
+        self.counter_interval = counter_interval
+        self.devices: dict[str, NatMiddlebox] = {}
+        self.ino = sc.inotify_init()
+        self.ino.wakeup = self._schedule
+        self._watch_ctx: dict[int, tuple] = {}
+        self._wake_pending = False
+        self._counter_task = None
+        self.migrations_in = 0
+        self.migrations_out = 0
+
+    # -- lifecycle ------------------------------------------------------------------
+
+    def attach(self, device: NatMiddlebox) -> str:
+        """Start managing ``device``; returns its tree path."""
+        base = f"{self.root}/middleboxes"
+        if not self.sc.exists(base):
+            self.sc.mkdir(base)
+        path = f"{base}/{device.name}"
+        if not self.sc.exists(path):
+            self.sc.mkdir(path)
+        self.sc.write_text(f"{path}/type", "nat")
+        self.sc.write_text(f"{path}/public_ip", str(device.public_ip))
+        self.devices[device.name] = device
+        device.on_state_change = lambda kind, entry, name=device.name: self._on_device_change(name, kind, entry)
+        self._watch(f"{path}/state", _STATE_MASK, ("state", device.name))
+        for entry in device.entries():
+            self._write_entry(device.name, entry)
+        if self._counter_task is None and self.counter_interval > 0:
+            self._counter_task = self.sim.every(self.counter_interval, self._sync_counters)
+        return path
+
+    def stop(self) -> None:
+        """Stop managing everything (tree state is left in place)."""
+        for device in self.devices.values():
+            device.on_state_change = None
+        self.devices.clear()
+        if self._counter_task is not None:
+            self._counter_task.stop()
+            self._counter_task = None
+        self.ino.close()
+        self._watch_ctx.clear()
+
+    # -- plumbing --------------------------------------------------------------------
+
+    def _watch(self, path: str, mask: EventMask, ctx: tuple) -> None:
+        try:
+            wd = self.sc.inotify_add_watch(self.ino, path, mask)
+        except FsError:
+            return
+        self._watch_ctx[wd] = ctx
+
+    def _schedule(self) -> None:
+        if self._wake_pending:
+            return
+        self._wake_pending = True
+        self.sim.schedule(1e-5, self._drain)
+
+    def _drain(self) -> None:
+        self._wake_pending = False
+        for event in self.sc.inotify_read(self.ino):
+            ctx = self._watch_ctx.get(event.wd)
+            if ctx is None:
+                continue
+            try:
+                self._dispatch(ctx, event)
+            except FsError:
+                continue
+
+    def _dispatch(self, ctx: tuple, event) -> None:
+        if ctx[0] == "state" and event.name is not None:
+            mb_name = ctx[1]
+            if event.mask & (EventMask.IN_CREATE | EventMask.IN_MOVED_TO):
+                if event.mask & EventMask.IN_MOVED_TO:
+                    self.migrations_in += 1
+                self._watch(self._entry_path(mb_name, event.name), _ENTRY_MASK, ("entry", mb_name, event.name))
+                self._sync_entry_to_device(mb_name, event.name)
+            elif event.mask & (EventMask.IN_DELETE | EventMask.IN_MOVED_FROM):
+                if event.mask & EventMask.IN_MOVED_FROM:
+                    self.migrations_out += 1
+                device = self.devices.get(mb_name)
+                if device is not None:
+                    device.remove_entry(event.name, notify=False)
+        elif ctx[0] == "entry":
+            self._sync_entry_to_device(ctx[1], ctx[2])
+
+    # -- paths -----------------------------------------------------------------------
+
+    def _mb_path(self, name: str) -> str:
+        return f"{self.root}/middleboxes/{name}"
+
+    def _entry_path(self, name: str, conn_id: str) -> str:
+        return f"{self._mb_path(name)}/state/{conn_id}"
+
+    # -- device -> tree --------------------------------------------------------------
+
+    def _on_device_change(self, mb_name: str, kind: str, entry: NatEntry) -> None:
+        if kind == "add":
+            self._write_entry(mb_name, entry)
+        elif kind == "remove":
+            path = self._entry_path(mb_name, entry.conn_id)
+            if self.sc.exists(path):
+                self.sc.rmdir(path)
+        # "update" (per-packet counters) is flushed periodically instead.
+
+    def _write_entry(self, mb_name: str, entry: NatEntry) -> None:
+        path = self._entry_path(mb_name, entry.conn_id)
+        try:
+            self.sc.mkdir(path)
+        except FileExists:
+            pass
+        self.sc.write_text(f"{path}/proto", _NAME_BY_PROTO.get(entry.proto, str(entry.proto)))
+        self.sc.write_text(f"{path}/client_ip", str(entry.client_ip))
+        self.sc.write_text(f"{path}/client_port", str(entry.client_port))
+        self.sc.write_text(f"{path}/public_port", str(entry.public_port))
+        self.sc.write_text(f"{path}/packets", str(entry.packets))
+
+    # -- tree -> device --------------------------------------------------------------
+
+    def _sync_entry_to_device(self, mb_name: str, conn_id: str) -> None:
+        device = self.devices.get(mb_name)
+        if device is None:
+            return
+        path = self._entry_path(mb_name, conn_id)
+        try:
+            files = set(self.sc.listdir(path))
+        except FsError:
+            return
+        required = {"proto", "client_ip", "client_port", "public_port"}
+        if not required <= files:
+            return  # cp in progress: a later close event completes it
+        try:
+            proto_text = self.sc.read_text(f"{path}/proto").strip()
+            entry = NatEntry(
+                proto=_PROTO_BY_NAME.get(proto_text, int(proto_text) if proto_text.isdigit() else 0),
+                client_ip=IPv4Address(self.sc.read_text(f"{path}/client_ip").strip()),
+                client_port=int(self.sc.read_text(f"{path}/client_port").strip()),
+                public_port=int(self.sc.read_text(f"{path}/public_port").strip()),
+                last_active=self.sim.now,
+            )
+        except (FsError, ValueError):
+            return
+        existing = device.lookup_conn(conn_id)
+        if existing is not None and existing.public_port == entry.public_port:
+            return  # idempotent: the device already holds this binding
+        device.install_entry(entry, notify=False)
+
+    # -- counters ----------------------------------------------------------------------
+
+    def _sync_counters(self) -> None:
+        for name, device in self.devices.items():
+            base = f"{self._mb_path(name)}/counters"
+            try:
+                self.sc.write_text(f"{base}/translated", str(device.translated))
+                self.sc.write_text(f"{base}/dropped", str(device.dropped))
+                self.sc.write_text(f"{base}/connections", str(len(device.entries())))
+            except FsError:
+                continue
+            for entry in device.entries():
+                packets_path = f"{self._entry_path(name, entry.conn_id)}/packets"
+                try:
+                    if self.sc.exists(packets_path):
+                        self.sc.write_text(packets_path, str(entry.packets))
+                except FsError:
+                    continue

@@ -1,0 +1,86 @@
+"""ARP (RFC 826) over Ethernet/IPv4."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from ipaddress import IPv4Address
+
+from repro.netpkt.addr import MacAddress, ip
+
+ARP_REQUEST = 1
+ARP_REPLY = 2
+
+_ARP = struct.Struct("!HHBBH6s4s6s4s")
+_HW_ETHERNET = 1
+_PROTO_IPV4 = 0x0800
+
+
+@dataclass
+class Arp:
+    """An ARP packet for the Ethernet/IPv4 pairing the paper's apps use."""
+
+    opcode: int
+    sender_mac: MacAddress
+    sender_ip: IPv4Address
+    target_mac: MacAddress
+    target_ip: IPv4Address
+
+    def __post_init__(self) -> None:
+        if self.opcode not in (ARP_REQUEST, ARP_REPLY):
+            raise ValueError(f"unsupported ARP opcode: {self.opcode}")
+        self.sender_mac = MacAddress(self.sender_mac)
+        self.target_mac = MacAddress(self.target_mac)
+        self.sender_ip = ip(self.sender_ip)
+        self.target_ip = ip(self.target_ip)
+
+    @classmethod
+    def request(cls, sender_mac: MacAddress, sender_ip: IPv4Address, target_ip: IPv4Address) -> "Arp":
+        """Build a who-has request (target MAC all-zero)."""
+        return cls(
+            opcode=ARP_REQUEST,
+            sender_mac=sender_mac,
+            sender_ip=sender_ip,
+            target_mac=MacAddress(0),
+            target_ip=target_ip,
+        )
+
+    def reply_from(self, mac: MacAddress) -> "Arp":
+        """Build the is-at reply answering this request with ``mac``."""
+        return Arp(
+            opcode=ARP_REPLY,
+            sender_mac=mac,
+            sender_ip=self.target_ip,
+            target_mac=self.sender_mac,
+            target_ip=self.sender_ip,
+        )
+
+    def pack(self) -> bytes:
+        """Serialize to the 28-byte wire format."""
+        return _ARP.pack(
+            _HW_ETHERNET,
+            _PROTO_IPV4,
+            6,
+            4,
+            self.opcode,
+            self.sender_mac.packed,
+            self.sender_ip.packed,
+            self.target_mac.packed,
+            self.target_ip.packed,
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "Arp":
+        """Parse; rejects non-Ethernet/IPv4 ARP and truncation."""
+        if len(data) < _ARP.size:
+            raise ValueError(f"ARP packet too short: {len(data)} bytes")
+        htype, ptype, hlen, plen, opcode, smac, sip, tmac, tip = _ARP.unpack_from(data)
+        if (htype, ptype, hlen, plen) != (_HW_ETHERNET, _PROTO_IPV4, 6, 4):
+            raise ValueError("only Ethernet/IPv4 ARP is supported")
+        return cls(
+            opcode=opcode,
+            sender_mac=MacAddress(smac),
+            sender_ip=IPv4Address(sip),
+            target_mac=MacAddress(tmac),
+            target_ip=IPv4Address(tip),
+        )

@@ -1,0 +1,93 @@
+"""Ethernet II framing and 802.1Q VLAN tags."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.netpkt.addr import MacAddress
+
+ETH_TYPE_IPV4 = 0x0800
+ETH_TYPE_ARP = 0x0806
+ETH_TYPE_VLAN = 0x8100
+ETH_TYPE_LLDP = 0x88CC
+
+_ETH_HDR = struct.Struct("!6s6sH")
+_VLAN_HDR = struct.Struct("!HH")
+
+
+@dataclass
+class Ethernet:
+    """An Ethernet II header.
+
+    ``payload`` holds the raw bytes that follow the header (and the VLAN
+    tag, when present).
+    """
+
+    dst: MacAddress
+    src: MacAddress
+    eth_type: int
+    vlan: "Vlan | None" = None
+    payload: bytes = b""
+
+    def __post_init__(self) -> None:
+        self.dst = MacAddress(self.dst)
+        self.src = MacAddress(self.src)
+        if not 0 <= self.eth_type <= 0xFFFF:
+            raise ValueError(f"eth_type out of range: {self.eth_type:#x}")
+
+    def pack(self) -> bytes:
+        """Serialize header (+ optional VLAN tag) + payload."""
+        if self.vlan is None:
+            head = _ETH_HDR.pack(self.dst.packed, self.src.packed, self.eth_type)
+        else:
+            head = _ETH_HDR.pack(self.dst.packed, self.src.packed, ETH_TYPE_VLAN)
+            head += _VLAN_HDR.pack(self.vlan.tci, self.eth_type)
+        return head + self.payload
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "Ethernet":
+        """Parse a frame; raises ValueError on truncation."""
+        if len(data) < _ETH_HDR.size:
+            raise ValueError(f"Ethernet frame too short: {len(data)} bytes")
+        dst, src, eth_type = _ETH_HDR.unpack_from(data)
+        offset = _ETH_HDR.size
+        vlan = None
+        if eth_type == ETH_TYPE_VLAN:
+            if len(data) < offset + _VLAN_HDR.size:
+                raise ValueError("truncated 802.1Q tag")
+            tci, eth_type = _VLAN_HDR.unpack_from(data, offset)
+            vlan = Vlan.from_tci(tci)
+            offset += _VLAN_HDR.size
+        return cls(
+            dst=MacAddress(dst),
+            src=MacAddress(src),
+            eth_type=eth_type,
+            vlan=vlan,
+            payload=data[offset:],
+        )
+
+
+@dataclass
+class Vlan:
+    """An 802.1Q tag: priority (PCP), drop-eligible (DEI), VLAN id."""
+
+    vid: int
+    pcp: int = 0
+    dei: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.vid < 4096:
+            raise ValueError(f"VLAN id out of range: {self.vid}")
+        if not 0 <= self.pcp < 8:
+            raise ValueError(f"VLAN PCP out of range: {self.pcp}")
+
+    @property
+    def tci(self) -> int:
+        """The 16-bit tag control information field."""
+        return (self.pcp << 13) | (int(self.dei) << 12) | self.vid
+
+    @classmethod
+    def from_tci(cls, tci: int) -> "Vlan":
+        """Decode a 16-bit TCI field."""
+        return cls(vid=tci & 0x0FFF, pcp=tci >> 13 & 0x7, dei=bool(tci >> 12 & 0x1))

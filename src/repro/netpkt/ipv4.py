@@ -1,0 +1,149 @@
+"""IPv4 and ICMP headers."""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from ipaddress import IPv4Address
+
+from repro.netpkt.addr import ip
+
+IPPROTO_ICMP = 1
+IPPROTO_TCP = 6
+IPPROTO_UDP = 17
+
+_IPV4 = struct.Struct("!BBHHHBBH4s4s")
+_ICMP = struct.Struct("!BBHHH")
+
+ICMP_ECHO_REPLY = 0
+ICMP_ECHO_REQUEST = 8
+
+
+def internet_checksum(data: bytes) -> int:
+    """RFC 1071 ones-complement checksum over ``data``."""
+    if len(data) % 2:
+        data += b"\x00"
+    total = sum(struct.unpack(f"!{len(data) // 2}H", data))
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return ~total & 0xFFFF
+
+
+@dataclass
+class IPv4:
+    """An IPv4 header (no options) plus payload."""
+
+    src: IPv4Address
+    dst: IPv4Address
+    proto: int
+    ttl: int = 64
+    tos: int = 0
+    ident: int = 0
+    payload: bytes = b""
+
+    def __post_init__(self) -> None:
+        self.src = ip(self.src)
+        self.dst = ip(self.dst)
+        if not 0 <= self.proto <= 0xFF:
+            raise ValueError(f"protocol out of range: {self.proto}")
+        if not 0 <= self.ttl <= 0xFF:
+            raise ValueError(f"TTL out of range: {self.ttl}")
+
+    @property
+    def total_length(self) -> int:
+        """Header plus payload length in bytes."""
+        return _IPV4.size + len(self.payload)
+
+    def decremented(self) -> "IPv4":
+        """Return a copy with TTL - 1; raises ValueError at TTL zero."""
+        if self.ttl == 0:
+            raise ValueError("TTL already zero")
+        return IPv4(
+            src=self.src,
+            dst=self.dst,
+            proto=self.proto,
+            ttl=self.ttl - 1,
+            tos=self.tos,
+            ident=self.ident,
+            payload=self.payload,
+        )
+
+    def pack(self) -> bytes:
+        """Serialize with a correct header checksum."""
+        head = _IPV4.pack(
+            0x45,  # version 4, IHL 5
+            self.tos,
+            self.total_length,
+            self.ident,
+            0,  # flags/fragment offset: never fragmented in the simulator
+            self.ttl,
+            self.proto,
+            0,  # checksum placeholder
+            self.src.packed,
+            self.dst.packed,
+        )
+        csum = internet_checksum(head)
+        return head[:10] + struct.pack("!H", csum) + head[12:] + self.payload
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "IPv4":
+        """Parse; validates version, IHL, length, and header checksum."""
+        if len(data) < _IPV4.size:
+            raise ValueError(f"IPv4 header too short: {len(data)} bytes")
+        ver_ihl, tos, total_len, ident, _frag, ttl, proto, _csum, src, dst = _IPV4.unpack_from(data)
+        if ver_ihl >> 4 != 4:
+            raise ValueError(f"not an IPv4 packet (version {ver_ihl >> 4})")
+        ihl = (ver_ihl & 0xF) * 4
+        if ihl != _IPV4.size:
+            raise ValueError("IPv4 options are not supported")
+        if total_len > len(data):
+            raise ValueError(f"IPv4 total length {total_len} exceeds frame ({len(data)})")
+        if internet_checksum(data[:ihl]) != 0:
+            raise ValueError("bad IPv4 header checksum")
+        return cls(
+            src=IPv4Address(src),
+            dst=IPv4Address(dst),
+            proto=proto,
+            ttl=ttl,
+            tos=tos,
+            ident=ident,
+            payload=data[ihl:total_len],
+        )
+
+
+@dataclass
+class Icmp:
+    """An ICMP message (echo request/reply are what the examples use)."""
+
+    icmp_type: int
+    code: int = 0
+    ident: int = 0
+    seq: int = 0
+    payload: bytes = b""
+
+    @classmethod
+    def echo_request(cls, ident: int, seq: int, payload: bytes = b"") -> "Icmp":
+        """Build an echo request."""
+        return cls(icmp_type=ICMP_ECHO_REQUEST, ident=ident, seq=seq, payload=payload)
+
+    def echo_reply(self) -> "Icmp":
+        """Build the reply to this echo request."""
+        if self.icmp_type != ICMP_ECHO_REQUEST:
+            raise ValueError("echo_reply() only applies to echo requests")
+        return Icmp(icmp_type=ICMP_ECHO_REPLY, ident=self.ident, seq=self.seq, payload=self.payload)
+
+    def pack(self) -> bytes:
+        """Serialize with a correct checksum."""
+        head = _ICMP.pack(self.icmp_type, self.code, 0, self.ident, self.seq)
+        csum = internet_checksum(head + self.payload)
+        return head[:2] + struct.pack("!H", csum) + head[4:] + self.payload
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "Icmp":
+        """Parse; validates the checksum."""
+        if len(data) < _ICMP.size:
+            raise ValueError(f"ICMP message too short: {len(data)} bytes")
+        if internet_checksum(data) != 0:
+            raise ValueError("bad ICMP checksum")
+        icmp_type, code, _csum, ident, seq = _ICMP.unpack_from(data)
+        return cls(icmp_type=icmp_type, code=code, ident=ident, seq=seq, payload=data[_ICMP.size :])

@@ -1,0 +1,97 @@
+"""LLDP (802.1AB) frames as used by topology discovery.
+
+The topology daemon (paper section 4.3) sends an LLDP beacon out every
+switch port and, when the beacon arrives on a neighbouring switch, learns
+the (switch, port) <-> (switch, port) adjacency.  We implement the three
+mandatory TLVs — Chassis ID, Port ID, TTL — which is exactly what discovery
+needs; unknown TLVs are preserved opaquely so foreign beacons survive a
+round trip.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+
+from repro.netpkt.addr import MacAddress
+
+#: The LLDP destination address switches never forward (nearest-bridge group).
+LLDP_MULTICAST_MAC = MacAddress("01:80:c2:00:00:0e")
+
+_TLV_END = 0
+_TLV_CHASSIS_ID = 1
+_TLV_PORT_ID = 2
+_TLV_TTL = 3
+
+_CHASSIS_SUBTYPE_LOCAL = 7
+_PORT_SUBTYPE_LOCAL = 7
+
+
+def _tlv(tlv_type: int, value: bytes) -> bytes:
+    if len(value) > 511:
+        raise ValueError(f"TLV value too long: {len(value)} bytes")
+    header = (tlv_type << 9) | len(value)
+    return struct.pack("!H", header) + value
+
+
+@dataclass
+class Lldp:
+    """An LLDP data unit with locally-assigned chassis and port ids."""
+
+    chassis_id: str
+    port_id: str
+    ttl: int = 120
+    extra_tlvs: list[tuple[int, bytes]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.chassis_id:
+            raise ValueError("chassis_id must be non-empty")
+        if not self.port_id:
+            raise ValueError("port_id must be non-empty")
+        if not 0 <= self.ttl <= 0xFFFF:
+            raise ValueError(f"TTL out of range: {self.ttl}")
+
+    def pack(self) -> bytes:
+        """Serialize to the TLV wire format, ending with an End TLV."""
+        out = _tlv(_TLV_CHASSIS_ID, bytes([_CHASSIS_SUBTYPE_LOCAL]) + self.chassis_id.encode())
+        out += _tlv(_TLV_PORT_ID, bytes([_PORT_SUBTYPE_LOCAL]) + self.port_id.encode())
+        out += _tlv(_TLV_TTL, struct.pack("!H", self.ttl))
+        for tlv_type, value in self.extra_tlvs:
+            out += _tlv(tlv_type, value)
+        return out + _tlv(_TLV_END, b"")
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "Lldp":
+        """Parse; requires the three mandatory TLVs in standard order."""
+        offset = 0
+        chassis_id: str | None = None
+        port_id: str | None = None
+        ttl: int | None = None
+        extra: list[tuple[int, bytes]] = []
+        while offset + 2 <= len(data):
+            (header,) = struct.unpack_from("!H", data, offset)
+            tlv_type, length = header >> 9, header & 0x1FF
+            offset += 2
+            if offset + length > len(data):
+                raise ValueError("truncated LLDP TLV")
+            value = data[offset : offset + length]
+            offset += length
+            if tlv_type == _TLV_END:
+                break
+            if tlv_type == _TLV_CHASSIS_ID:
+                if len(value) < 2 or value[0] != _CHASSIS_SUBTYPE_LOCAL:
+                    raise ValueError("unsupported chassis-id subtype")
+                chassis_id = value[1:].decode()
+            elif tlv_type == _TLV_PORT_ID:
+                if len(value) < 2 or value[0] != _PORT_SUBTYPE_LOCAL:
+                    raise ValueError("unsupported port-id subtype")
+                port_id = value[1:].decode()
+            elif tlv_type == _TLV_TTL:
+                if len(value) != 2:
+                    raise ValueError("bad TTL TLV length")
+                (ttl,) = struct.unpack("!H", value)
+            else:
+                extra.append((tlv_type, value))
+        if chassis_id is None or port_id is None or ttl is None:
+            raise ValueError("LLDPDU missing a mandatory TLV")
+        return cls(chassis_id=chassis_id, port_id=port_id, ttl=ttl, extra_tlvs=extra)

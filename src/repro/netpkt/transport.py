@@ -1,0 +1,106 @@
+"""TCP and UDP headers.
+
+Segments carry opaque payloads; the simulator does not run a TCP state
+machine — the controller applications only ever match on ports, which is
+all OpenFlow 1.0 sees of layer 4 anyway.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+_UDP = struct.Struct("!HHHH")
+_TCP = struct.Struct("!HHIIBBHHH")
+
+TCP_FLAG_FIN = 0x01
+TCP_FLAG_SYN = 0x02
+TCP_FLAG_RST = 0x04
+TCP_FLAG_PSH = 0x08
+TCP_FLAG_ACK = 0x10
+
+
+def _check_port(value: int, what: str) -> int:
+    if not 0 <= value <= 0xFFFF:
+        raise ValueError(f"{what} out of range: {value}")
+    return value
+
+
+@dataclass
+class Udp:
+    """A UDP header plus payload."""
+
+    src_port: int
+    dst_port: int
+    payload: bytes = b""
+
+    def __post_init__(self) -> None:
+        _check_port(self.src_port, "source port")
+        _check_port(self.dst_port, "destination port")
+
+    def pack(self) -> bytes:
+        """Serialize (checksum 0 = unused, valid for IPv4)."""
+        return _UDP.pack(self.src_port, self.dst_port, _UDP.size + len(self.payload), 0) + self.payload
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "Udp":
+        """Parse; validates the length field."""
+        if len(data) < _UDP.size:
+            raise ValueError(f"UDP datagram too short: {len(data)} bytes")
+        src, dst, length, _csum = _UDP.unpack_from(data)
+        if length < _UDP.size or length > len(data):
+            raise ValueError(f"bad UDP length field: {length}")
+        return cls(src_port=src, dst_port=dst, payload=data[_UDP.size : length])
+
+
+@dataclass
+class Tcp:
+    """A TCP header (no options) plus payload."""
+
+    src_port: int
+    dst_port: int
+    seq: int = 0
+    ack: int = 0
+    flags: int = TCP_FLAG_ACK
+    window: int = 65535
+    payload: bytes = b""
+
+    def __post_init__(self) -> None:
+        _check_port(self.src_port, "source port")
+        _check_port(self.dst_port, "destination port")
+
+    def pack(self) -> bytes:
+        """Serialize with data offset 5 (no options)."""
+        return (
+            _TCP.pack(
+                self.src_port,
+                self.dst_port,
+                self.seq,
+                self.ack,
+                5 << 4,  # data offset in 32-bit words
+                self.flags,
+                self.window,
+                0,  # checksum: unused in the simulator
+                0,  # urgent pointer
+            )
+            + self.payload
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "Tcp":
+        """Parse; rejects truncated headers and bad data offsets."""
+        if len(data) < _TCP.size:
+            raise ValueError(f"TCP segment too short: {len(data)} bytes")
+        src, dst, seq, ack, offs, flags, window, _csum, _urg = _TCP.unpack_from(data)
+        header_len = (offs >> 4) * 4
+        if header_len < _TCP.size or header_len > len(data):
+            raise ValueError(f"bad TCP data offset: {offs >> 4}")
+        return cls(
+            src_port=src,
+            dst_port=dst,
+            seq=seq,
+            ack=ack,
+            flags=flags,
+            window=window,
+            payload=data[header_len:],
+        )

@@ -1,0 +1,51 @@
+"""Version registry and negotiation helpers."""
+
+from __future__ import annotations
+
+from types import ModuleType
+
+from repro.openflow import messages as m
+from repro.openflow import of10, of13
+from repro.openflow.of10 import CodecError
+
+#: Wire version byte -> codec module (OF 1.0 = 0x01, OF 1.3 = 0x04).
+CODECS: dict[int, ModuleType] = {of10.VERSION: of10, of13.VERSION: of13}
+
+#: Human names for the supported versions.
+VERSION_NAMES = {of10.VERSION: "OpenFlow 1.0", of13.VERSION: "OpenFlow 1.3"}
+
+
+def peek_version(data: bytes) -> int:
+    """The version byte of the next wire message."""
+    if not data:
+        raise CodecError("empty buffer")
+    return data[0]
+
+
+def codec_for(version: int) -> ModuleType:
+    """The codec module for a wire version."""
+    try:
+        return CODECS[version]
+    except KeyError:
+        raise CodecError(f"unsupported OpenFlow version {version:#x}") from None
+
+
+def negotiate(my_max: int, peer_hello_version: int) -> int:
+    """OpenFlow hello negotiation: both sides settle on min(max, max).
+
+    Raises CodecError when the agreed version is one we have no codec for.
+    """
+    agreed = min(my_max, peer_hello_version)
+    if agreed not in CODECS:
+        raise CodecError(f"no common OpenFlow version (agreed {agreed:#x})")
+    return agreed
+
+
+def decode_any(data: bytes) -> tuple[m.Message, int, bytes]:
+    """Decode the next message of whatever supported version it is.
+
+    Returns (message, version, remaining bytes).
+    """
+    version = peek_version(data)
+    msg, rest = codec_for(version).decode(data)
+    return msg, version, rest

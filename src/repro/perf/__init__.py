@@ -1,0 +1,29 @@
+"""Performance metering: syscall and context-switch accounting.
+
+Section 8.1 of the yanc paper argues that the file-system interface pays a
+per-access cost: every ``read()``/``write()``/``stat()`` is a system call
+that context-switches from the application into the kernel (and, with FUSE,
+back out into the file-system daemon).  The quantitative claims in the paper
+are claims about *counts* of these transitions, so this package meters them
+exactly:
+
+* :class:`PerfCounters` — a registry of named monotonic counters.
+* :class:`CostModel` — converts counts into simulated elapsed time, so
+  benchmarks can report latency figures with a calibrated per-syscall cost.
+* :class:`SyscallMeter` — the hook the VFS syscall facade calls on entry.
+
+The module is dependency-free so every other subsystem can use it.
+"""
+
+from repro.perf.counters import CounterSnapshot, PerfCounters
+from repro.perf.cost import CostModel, FUSE_COST_MODEL, SHM_COST_MODEL
+from repro.perf.meter import SyscallMeter
+
+__all__ = [
+    "CounterSnapshot",
+    "PerfCounters",
+    "CostModel",
+    "FUSE_COST_MODEL",
+    "SHM_COST_MODEL",
+    "SyscallMeter",
+]

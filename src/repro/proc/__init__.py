@@ -1,0 +1,11 @@
+"""Process-management substrates: cron scheduling and control groups.
+
+The paper leans on stock Linux process machinery: cron for occasional
+programs like the auditor (§2) and cgroups for resource management (§5.3).
+Both are reproduced against the simulator clock.
+"""
+
+from repro.proc.cron import Cron, CronJob
+from repro.proc.cgroups import Cgroup, CgroupManager, ResourceLimitExceeded
+
+__all__ = ["Cron", "CronJob", "Cgroup", "CgroupManager", "ResourceLimitExceeded"]

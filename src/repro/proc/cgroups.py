@@ -1,0 +1,120 @@
+"""Hierarchical resource accounting (control groups).
+
+"Control groups allow processes to be grouped in an arbitrary hierarchy
+for the purpose of resource management" (paper section 5.3).  The
+reproduction implements the accounting/limit core: groups form a tree,
+usage charges propagate to ancestors, and any group along the path may
+impose a limit that rejects the charge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class ResourceLimitExceeded(RuntimeError):
+    """A charge would push some group over its limit."""
+
+    def __init__(self, group: str, resource: str, limit: float) -> None:
+        self.group = group
+        self.resource = resource
+        self.limit = limit
+        super().__init__(f"cgroup {group!r} would exceed {resource} limit {limit}")
+
+
+@dataclass
+class Cgroup:
+    """One node in the cgroup hierarchy."""
+
+    name: str
+    parent: "Cgroup | None" = None
+    limits: dict[str, float] = field(default_factory=dict)
+    usage: dict[str, float] = field(default_factory=dict)
+    members: set[str] = field(default_factory=set)
+
+    @property
+    def path(self) -> str:
+        """Slash-joined path from the root group."""
+        if self.parent is None:
+            return "/"
+        prefix = self.parent.path.rstrip("/")
+        return f"{prefix}/{self.name}"
+
+    def ancestors(self) -> list["Cgroup"]:
+        """Self plus every ancestor up to the root."""
+        chain = [self]
+        node = self
+        while node.parent is not None:
+            node = node.parent
+            chain.append(node)
+        return chain
+
+    def used(self, resource: str) -> float:
+        """Current usage of ``resource``."""
+        return self.usage.get(resource, 0.0)
+
+
+class CgroupManager:
+    """Create groups, place processes, charge usage, enforce limits."""
+
+    def __init__(self) -> None:
+        self.root = Cgroup(name="")
+        self._groups: dict[str, Cgroup] = {"/": self.root}
+        self._process_group: dict[str, Cgroup] = {}
+
+    def create(self, path: str, *, limits: dict[str, float] | None = None) -> Cgroup:
+        """Create a group at ``path`` (parents must exist)."""
+        path = "/" + path.strip("/")
+        if path in self._groups:
+            raise ValueError(f"cgroup {path!r} already exists")
+        parent_path, _, name = path.rpartition("/")
+        parent = self._groups.get(parent_path or "/")
+        if parent is None:
+            raise ValueError(f"parent cgroup {parent_path!r} does not exist")
+        group = Cgroup(name=name, parent=parent, limits=dict(limits or {}))
+        self._groups[path] = group
+        return group
+
+    def get(self, path: str) -> Cgroup:
+        """Look a group up by path."""
+        path = "/" + path.strip("/") if path != "/" else "/"
+        try:
+            return self._groups[path]
+        except KeyError:
+            raise ValueError(f"no cgroup {path!r}") from None
+
+    def attach(self, process: str, path: str) -> None:
+        """Move a process (by name) into a group."""
+        group = self.get(path)
+        previous = self._process_group.get(process)
+        if previous is not None:
+            previous.members.discard(process)
+        group.members.add(process)
+        self._process_group[process] = group
+
+    def group_of(self, process: str) -> Cgroup | None:
+        """The group a process belongs to (None if unplaced)."""
+        return self._process_group.get(process)
+
+    def charge(self, process: str, resource: str, amount: float) -> None:
+        """Charge ``amount`` of ``resource`` to the process's group chain.
+
+        The whole chain is checked first, so a rejected charge leaves no
+        partial accounting behind.
+        """
+        if amount < 0:
+            raise ValueError("charge amount must be >= 0")
+        group = self._process_group.get(process)
+        if group is None:
+            return  # unplaced processes are unaccounted, as on Linux
+        chain = group.ancestors()
+        for node in chain:
+            limit = node.limits.get(resource)
+            if limit is not None and node.used(resource) + amount > limit:
+                raise ResourceLimitExceeded(node.path, resource, limit)
+        for node in chain:
+            node.usage[resource] = node.used(resource) + amount
+
+    def usage_report(self) -> dict[str, dict[str, float]]:
+        """Usage of every group, keyed by path."""
+        return {path: dict(group.usage) for path, group in sorted(self._groups.items())}

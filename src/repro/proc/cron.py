@@ -1,0 +1,62 @@
+"""Interval cron on the simulator clock."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.sim import Simulator
+
+
+@dataclass
+class CronJob:
+    """One scheduled job."""
+
+    name: str
+    interval: float
+    fn: Callable[[], None]
+    runs: int = 0
+    failures: int = 0
+    last_run: float = -1.0
+    _task: object = field(default=None, repr=False)
+
+
+class Cron:
+    """A cron daemon: named periodic jobs with failure isolation.
+
+    A job that raises is counted as failed and keeps its schedule — one
+    bad run never kills the daemon (or other jobs), which is exactly why
+    the paper wants the auditor *outside* the controller process.
+    """
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.jobs: dict[str, CronJob] = {}
+
+    def add_job(self, name: str, interval: float, fn: Callable[[], None], *, start_delay: float | None = None) -> CronJob:
+        """Schedule ``fn`` every ``interval`` seconds."""
+        if name in self.jobs:
+            raise ValueError(f"duplicate cron job {name!r}")
+        job = CronJob(name=name, interval=interval, fn=fn)
+        job._task = self.sim.every(interval, lambda: self._run(job), start_delay=start_delay)
+        self.jobs[name] = job
+        return job
+
+    def remove_job(self, name: str) -> None:
+        """Unschedule a job."""
+        job = self.jobs.pop(name, None)
+        if job is not None and job._task is not None:
+            job._task.stop()  # type: ignore[attr-defined]
+
+    def _run(self, job: CronJob) -> None:
+        job.last_run = self.sim.now
+        try:
+            job.fn()
+            job.runs += 1
+        except Exception:
+            job.failures += 1
+
+    def stop(self) -> None:
+        """Unschedule everything."""
+        for name in list(self.jobs):
+            self.remove_job(name)

@@ -1,0 +1,108 @@
+"""Assembly helpers: one call from "nothing" to a running yanc controller.
+
+The pieces (VFS, yancfs, drivers, dataplane, apps) are deliberately
+independent; this module wires the common shapes together so examples,
+tests, and benchmarks stay short.
+"""
+
+from __future__ import annotations
+
+from repro.dataplane.network import Network
+from repro.drivers import OF10_VERSION, OpenFlowDriver
+from repro.perf.meter import SyscallMeter
+from repro.sim import Simulator
+from repro.vfs.cred import ROOT, Credentials
+from repro.vfs.syscalls import Syscalls
+from repro.vfs.vfs import VirtualFileSystem
+from repro.yancfs.client import YancClient, mount_yancfs
+from repro.yancfs.schema import YancFs
+
+
+class ControllerHost:
+    """One controller machine: a VFS with yancfs mounted at /net.
+
+    Applications are "processes" on this host: spawn one with
+    :meth:`process` and it gets its own credentials, fd table, and syscall
+    meter, all against the shared tree — exactly the multi-process,
+    multi-language story of the paper (each process only needs file I/O).
+    """
+
+    def __init__(self, sim: Simulator | None = None, *, name: str = "ctl", mount_point: str = "/net") -> None:
+        self.sim = sim or Simulator()
+        self.name = name
+        self.vfs = VirtualFileSystem(clock=lambda: self.sim.now)
+        self.root_sc = Syscalls(self.vfs, cred=ROOT)
+        self.mount_point = mount_point
+        self.fs: YancFs = mount_yancfs(self.root_sc, mount_point)
+
+    def process(self, *, cred: Credentials = ROOT, meter: SyscallMeter | None = None) -> Syscalls:
+        """Spawn an application process context on this host."""
+        return self.root_sc.spawn(cred=cred, meter=meter)
+
+    def client(self, *, cred: Credentials = ROOT, meter: SyscallMeter | None = None) -> YancClient:
+        """Spawn a process and wrap it in a :class:`YancClient`."""
+        return YancClient(self.process(cred=cred, meter=meter), self.mount_point)
+
+
+class YancController:
+    """A controller host plus drivers plus an attached dataplane."""
+
+    def __init__(self, network: Network | None = None, *, sim: Simulator | None = None) -> None:
+        self.sim = sim or (network.sim if network is not None else Simulator())
+        self.net = network if network is not None else Network(self.sim)
+        if network is not None and network.sim is not self.sim:
+            raise ValueError("network and controller must share one simulator")
+        self.host = ControllerHost(self.sim)
+        self.drivers: list[OpenFlowDriver] = []
+
+    def add_driver(self, *, version: int = OF10_VERSION, stats_interval: float = 1.0) -> OpenFlowDriver:
+        """Start a driver process for one protocol version."""
+        driver = OpenFlowDriver(
+            self.host.process(),
+            self.sim,
+            version=version,
+            stats_interval=stats_interval,
+        )
+        self.drivers.append(driver)
+        return driver
+
+    def attach_all(self, driver: OpenFlowDriver | None = None) -> None:
+        """Attach every dataplane switch to a driver (default: first)."""
+        if driver is None:
+            driver = self.drivers[0] if self.drivers else self.add_driver()
+        for switch in self.net.switches.values():
+            driver.attach_switch(switch)
+
+    def start(self, *, settle: float = 0.05) -> "YancController":
+        """Attach everything, start flow expiry, and let sessions settle."""
+        if not self.drivers:
+            self.add_driver()
+        self.attach_all(self.drivers[0])
+        for switch in self.net.switches.values():
+            switch.start_expiry()
+        self.sim.run_for(settle)
+        return self
+
+    def run(self, duration: float = 1.0) -> int:
+        """Advance simulated time."""
+        return self.sim.run_for(duration)
+
+    def client(self, *, cred: Credentials = ROOT, meter: SyscallMeter | None = None) -> YancClient:
+        """An application-side client on the controller host."""
+        return self.host.client(cred=cred, meter=meter)
+
+    def fs_name_of(self, switch_name: str) -> str:
+        """The FS directory name a dataplane switch appears under.
+
+        Drivers only learn the dpid from the wire, so they name
+        directories ``sw<dpid>`` (admins are free to rename them later,
+        §3.2).
+        """
+        return f"sw{self.net.switches[switch_name].dpid}"
+
+    def expected_topology(self) -> dict[tuple[str, int], tuple[str, int]]:
+        """Ground-truth adjacency translated into FS switch names."""
+        out = {}
+        for (a, pa), (b, pb) in self.net.switch_port_peers().items():
+            out[(self.fs_name_of(a), pa)] = (self.fs_name_of(b), pb)
+        return out

@@ -1,0 +1,5 @@
+"""The standard-utilities toolbox (paper section 5.4)."""
+
+from repro.shell.toolbox import Shell, ShellError
+
+__all__ = ["Shell", "ShellError"]

@@ -1,0 +1,355 @@
+"""Coreutils over the VFS: the paper's section 5.4 made executable.
+
+    $ ls -l /net/switches
+    $ find /net -name match.tp_dst -exec grep 22 {} ;
+    $ echo 1 > /net/switches/sw1/ports/port_2/config.port_down
+
+Every command runs through an ordinary :class:`~repro.vfs.Syscalls`
+context, so permissions, namespaces, and metering apply exactly as they
+would to any other application.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import re
+import shlex
+
+from repro.vfs.errors import CrossDevice, FsError
+from repro.vfs.stat import FileType, format_mode
+from repro.vfs.syscalls import Syscalls
+
+
+class ShellError(Exception):
+    """A command failed (bad usage or an FsError it chose to surface)."""
+
+
+class Shell:
+    """A tiny non-interactive shell: ``run("ls -l /net/switches")``."""
+
+    def __init__(self, sc: Syscalls) -> None:
+        self.sc = sc
+
+    # -- entry point ----------------------------------------------------------------
+
+    def run(self, command_line: str) -> str:
+        """Execute one command line; returns its stdout as a string."""
+        tokens = shlex.split(command_line)
+        if not tokens:
+            return ""
+        redirect = None
+        append = False
+        if ">>" in tokens:
+            index = tokens.index(">>")
+            redirect, append = tokens[index + 1], True
+            tokens = tokens[:index]
+        elif ">" in tokens:
+            index = tokens.index(">")
+            redirect = tokens[index + 1]
+            tokens = tokens[:index]
+        name, args = tokens[0], tokens[1:]
+        handler = getattr(self, f"cmd_{name.replace('-', '_')}", None)
+        if handler is None:
+            raise ShellError(f"unknown command: {name}")
+        try:
+            output = handler(args)
+            if redirect is not None:
+                self.sc.write_text(redirect, output, append=append)
+                return ""
+        except FsError as exc:
+            raise ShellError(f"{name}: {exc}") from exc
+        return output
+
+    # -- commands ---------------------------------------------------------------------
+
+    def cmd_ls(self, args: list[str]) -> str:
+        """ls [-l] [path...]"""
+        long_format = "-l" in args
+        paths = [a for a in args if not a.startswith("-")] or [self.sc.getcwd()]
+        blocks = []
+        for path in paths:
+            st = self.sc.stat(path)
+            if st.is_dir:
+                names = self.sc.listdir(path)
+            else:
+                names = [path.rstrip("/").rsplit("/", 1)[-1]]
+                path = path.rsplit("/", 1)[0] or "/"
+            if not long_format:
+                blocks.append("\n".join(sorted(names)))
+                continue
+            lines = []
+            for entry in sorted(names):
+                entry_path = f"{path.rstrip('/')}/{entry}"
+                entry_stat = self.sc.lstat(entry_path)
+                suffix = ""
+                if entry_stat.is_symlink:
+                    suffix = f" -> {self.sc.readlink(entry_path)}"
+                lines.append(
+                    f"{format_mode(entry_stat.ftype, entry_stat.mode)} "
+                    f"{entry_stat.nlink:>2} {entry_stat.uid:>4} {entry_stat.gid:>4} "
+                    f"{entry_stat.size:>8} {entry}{suffix}"
+                )
+            blocks.append("\n".join(lines))
+        return "\n".join(blocks)
+
+    def cmd_cat(self, args: list[str]) -> str:
+        """cat file..."""
+        if not args:
+            raise ShellError("cat: missing operand")
+        return "".join(self.sc.read_text(path) for path in args)
+
+    def cmd_echo(self, args: list[str]) -> str:
+        """echo words... (combine with > for the paper's config idiom)"""
+        return " ".join(args)
+
+    def cmd_grep(self, args: list[str]) -> str:
+        """grep [-r] [-l] pattern path..."""
+        recursive = "-r" in args
+        names_only = "-l" in args
+        rest = [a for a in args if not a.startswith("-")]
+        if len(rest) < 2:
+            raise ShellError("grep: usage: grep [-r] [-l] pattern path...")
+        pattern, paths = rest[0], rest[1:]
+        regex = re.compile(pattern)
+        matches = []
+        for path in paths:
+            for file_path in self._grep_targets(path, recursive):
+                try:
+                    content = self.sc.read_text(file_path)
+                except (FsError, UnicodeDecodeError):
+                    continue
+                hit = False
+                for line in content.splitlines():
+                    if regex.search(line):
+                        hit = True
+                        if not names_only:
+                            matches.append(f"{file_path}:{line}")
+                if hit and names_only:
+                    matches.append(file_path)
+        return "\n".join(matches)
+
+    def _grep_targets(self, path: str, recursive: bool):
+        st = self.sc.stat(path)
+        if not st.is_dir:
+            yield path
+            return
+        if not recursive:
+            raise ShellError(f"grep: {path}: is a directory (use -r)")
+        for dirpath, _dirnames, filenames in self.sc.walk(path):
+            for name in filenames:
+                yield f"{dirpath}/{name}"
+
+    def cmd_find(self, args: list[str]) -> str:
+        """find path [-name glob] [-type f|d|l] [-exec grep pat {} ;]"""
+        if not args:
+            raise ShellError("find: missing path")
+        path = args[0]
+        name_glob = None
+        type_filter = None
+        exec_grep = None
+        index = 1
+        while index < len(args):
+            arg = args[index]
+            if arg == "-name":
+                name_glob = args[index + 1]
+                index += 2
+            elif arg == "-type":
+                type_filter = args[index + 1]
+                index += 2
+            elif arg == "-exec":
+                # only 'grep PATTERN {} ;' is supported, like the paper's one-liner
+                if args[index + 1] != "grep":
+                    raise ShellError("find: only '-exec grep' is supported")
+                exec_grep = args[index + 2]
+                index += 3
+                while index < len(args) and args[index] in ("{}", ";", "\\;"):
+                    index += 1
+            else:
+                raise ShellError(f"find: unknown predicate {arg!r}")
+        results = []
+        for found_path, ftype in self._find_walk(path):
+            base = found_path.rstrip("/").rsplit("/", 1)[-1]
+            if name_glob is not None and not fnmatch.fnmatch(base, name_glob):
+                continue
+            if type_filter is not None:
+                wanted = {"f": FileType.REGULAR, "d": FileType.DIRECTORY, "l": FileType.SYMLINK}[type_filter]
+                if ftype is not wanted:
+                    continue
+            if exec_grep is not None:
+                if ftype is not FileType.REGULAR:
+                    continue
+                try:
+                    content = self.sc.read_text(found_path)
+                except (FsError, UnicodeDecodeError):
+                    continue
+                regex = re.compile(exec_grep)
+                for line in content.splitlines():
+                    if regex.search(line):
+                        results.append(f"{found_path}:{line}")
+            else:
+                results.append(found_path)
+        return "\n".join(results)
+
+    def _find_walk(self, path: str):
+        yield path, self.sc.stat(path).ftype
+        for dirpath, dirnames, filenames in self.sc.walk(path):
+            for name in dirnames:
+                yield f"{dirpath}/{name}", FileType.DIRECTORY
+            for name in filenames:
+                child = f"{dirpath}/{name}"
+                yield child, self.sc.lstat(child).ftype
+
+    def cmd_tree(self, args: list[str]) -> str:
+        """tree [path] [-L depth] — render like paper figure 2."""
+        depth_limit = None
+        paths = []
+        index = 0
+        while index < len(args):
+            if args[index] == "-L":
+                depth_limit = int(args[index + 1])
+                index += 2
+            else:
+                paths.append(args[index])
+                index += 1
+        path = paths[0] if paths else self.sc.getcwd()
+        lines = [path]
+        self._tree(path, "", lines, depth_limit, 1)
+        return "\n".join(lines)
+
+    def _tree(self, path: str, prefix: str, lines: list[str], depth_limit: int | None, depth: int) -> None:
+        if depth_limit is not None and depth > depth_limit:
+            return
+        try:
+            names = sorted(self.sc.listdir(path))
+        except FsError:
+            return
+        for position, name in enumerate(names):
+            last = position == len(names) - 1
+            connector = "└── " if last else "├── "
+            child = f"{path.rstrip('/')}/{name}"
+            stat = self.sc.lstat(child)
+            label = name
+            if stat.is_symlink:
+                label += f" -> {self.sc.readlink(child)}"
+            lines.append(prefix + connector + label)
+            if stat.is_dir:
+                extension = "    " if last else "│   "
+                self._tree(child, prefix + extension, lines, depth_limit, depth + 1)
+
+    def cmd_mkdir(self, args: list[str]) -> str:
+        """mkdir [-p] dir..."""
+        parents = "-p" in args
+        for path in (a for a in args if not a.startswith("-")):
+            if parents:
+                self.sc.makedirs(path)
+            else:
+                self.sc.mkdir(path)
+        return ""
+
+    def cmd_rmdir(self, args: list[str]) -> str:
+        """rmdir dir..."""
+        for path in args:
+            self.sc.rmdir(path)
+        return ""
+
+    def cmd_rm(self, args: list[str]) -> str:
+        """rm [-r] path..."""
+        recursive = "-r" in args
+        for path in (a for a in args if not a.startswith("-")):
+            if recursive and self.sc.lstat(path).is_dir:
+                self._rm_tree(path)
+            else:
+                self.sc.unlink(path)
+        return ""
+
+    def _rm_tree(self, path: str) -> None:
+        for name in list(self.sc.listdir(path)):
+            child = f"{path.rstrip('/')}/{name}"
+            if self.sc.lstat(child).is_dir:
+                self._rm_tree(child)
+            else:
+                self.sc.unlink(child)
+        self.sc.rmdir(path)
+
+    def cmd_cp(self, args: list[str]) -> str:
+        """cp [-r] src dst"""
+        recursive = "-r" in args
+        rest = [a for a in args if not a.startswith("-")]
+        if len(rest) != 2:
+            raise ShellError("cp: usage: cp [-r] src dst")
+        src, dst = rest
+        self._copy(src, dst, recursive)
+        return ""
+
+    def _copy(self, src: str, dst: str, recursive: bool) -> None:
+        stat = self.sc.lstat(src)
+        if stat.is_symlink:
+            self.sc.symlink(self.sc.readlink(src), dst)
+            return
+        if stat.is_dir:
+            if not recursive:
+                raise ShellError(f"cp: {src}: is a directory (use -r)")
+            if not self.sc.exists(dst):
+                self.sc.mkdir(dst)
+            for name in self.sc.listdir(src):
+                self._copy(f"{src.rstrip('/')}/{name}", f"{dst.rstrip('/')}/{name}", True)
+            return
+        if self.sc.exists(dst) and self.sc.stat(dst).is_dir:
+            dst = f"{dst.rstrip('/')}/{src.rstrip('/').rsplit('/', 1)[-1]}"
+        self.sc.write_bytes(dst, self.sc.read_bytes(src))
+
+    def cmd_mv(self, args: list[str]) -> str:
+        """mv src dst (copy+remove across file systems)"""
+        if len(args) != 2:
+            raise ShellError("mv: usage: mv src dst")
+        src, dst = args
+        try:
+            self.sc.rename(src, dst)
+        except CrossDevice:
+            self._copy(src, dst, True)
+            if self.sc.lstat(src).is_dir:
+                self._rm_tree(src)
+            else:
+                self.sc.unlink(src)
+        return ""
+
+    def cmd_ln(self, args: list[str]) -> str:
+        """ln -s target linkpath (symbolic only)"""
+        if "-s" not in args:
+            raise ShellError("ln: only symbolic links (-s) are supported")
+        rest = [a for a in args if a != "-s"]
+        if len(rest) != 2:
+            raise ShellError("ln: usage: ln -s target linkpath")
+        self.sc.symlink(rest[0], rest[1])
+        return ""
+
+    def cmd_stat(self, args: list[str]) -> str:
+        """stat path..."""
+        lines = []
+        for path in args:
+            st = self.sc.stat(path)
+            lines.append(
+                f"{path}: ino={st.ino} type={st.ftype.value} mode={st.mode:o} "
+                f"uid={st.uid} gid={st.gid} size={st.size} nlink={st.nlink}"
+            )
+        return "\n".join(lines)
+
+    def cmd_touch(self, args: list[str]) -> str:
+        """touch file..."""
+        for path in args:
+            if not self.sc.exists(path):
+                self.sc.write_text(path, "")
+        return ""
+
+    def cmd_wc(self, args: list[str]) -> str:
+        """wc [-l] file..."""
+        lines_only = "-l" in args
+        out = []
+        for path in (a for a in args if not a.startswith("-")):
+            content = self.sc.read_text(path)
+            line_count = len(content.splitlines())
+            if lines_only:
+                out.append(f"{line_count} {path}")
+            else:
+                out.append(f"{line_count} {len(content.split())} {len(content)} {path}")
+        return "\n".join(out)

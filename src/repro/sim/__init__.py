@@ -1,0 +1,11 @@
+"""Discrete-event simulation kernel.
+
+Everything time-dependent in the reproduction — link transit, control-channel
+delivery, daemon wakeups, LLDP beacons, flow timeouts, cron jobs, distributed
+file-system RPCs — is driven by one :class:`Simulator` so that runs are fully
+deterministic and wall-clock independent.
+"""
+
+from repro.sim.clock import Event, Simulator
+
+__all__ = ["Event", "Simulator"]

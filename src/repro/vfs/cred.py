@@ -1,0 +1,36 @@
+"""Process credentials for permission checking."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass(frozen=True)
+class Credentials:
+    """Who is making a VFS call: uid, primary gid, supplementary groups.
+
+    The paper (section 5.1) leans on ordinary multi-user permissions to
+    protect flows, switches, and whole views; tests and examples run apps
+    under distinct non-root credentials to exercise that enforcement.
+    """
+
+    uid: int
+    gid: int
+    groups: frozenset[int] = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        if self.uid < 0 or self.gid < 0:
+            raise ValueError("uid/gid must be non-negative")
+
+    @property
+    def is_root(self) -> bool:
+        """Root (uid 0) bypasses permission checks, as on Linux."""
+        return self.uid == 0
+
+    def in_group(self, gid: int) -> bool:
+        """True when ``gid`` is the primary or a supplementary group."""
+        return gid == self.gid or gid in self.groups
+
+
+#: The superuser.
+ROOT = Credentials(uid=0, gid=0)

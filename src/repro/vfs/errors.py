@@ -1,0 +1,135 @@
+"""POSIX-style file system errors.
+
+Every VFS operation fails by raising an :class:`FsError` subclass carrying
+the matching ``errno`` value, so applications can be written exactly like
+their C counterparts (``except FileNotFound`` instead of checking
+``errno == ENOENT``).
+"""
+
+from __future__ import annotations
+
+import errno
+
+
+class FsError(OSError):
+    """Base class for all file system errors."""
+
+    errno_value: int = errno.EIO
+
+    def __init__(self, path: str = "", detail: str = "") -> None:
+        self.path = path
+        self.detail = detail
+        message = errno.errorcode.get(self.errno_value, "EIO")
+        if path:
+            message += f": {path}"
+        if detail:
+            message += f" ({detail})"
+        super().__init__(self.errno_value, message)
+
+
+class FileNotFound(FsError):
+    """ENOENT: no such file or directory."""
+
+    errno_value = errno.ENOENT
+
+
+class FileExists(FsError):
+    """EEXIST: target already exists."""
+
+    errno_value = errno.EEXIST
+
+
+class NotADirectory(FsError):
+    """ENOTDIR: a path component is not a directory."""
+
+    errno_value = errno.ENOTDIR
+
+
+class IsADirectory(FsError):
+    """EISDIR: operation needs a non-directory."""
+
+    errno_value = errno.EISDIR
+
+
+class DirectoryNotEmpty(FsError):
+    """ENOTEMPTY: rmdir on a non-empty directory."""
+
+    errno_value = errno.ENOTEMPTY
+
+
+class PermissionDenied(FsError):
+    """EACCES: permission bits or ACL forbid the access."""
+
+    errno_value = errno.EACCES
+
+
+class NotPermitted(FsError):
+    """EPERM: the operation itself is not permitted (e.g. chown by non-root)."""
+
+    errno_value = errno.EPERM
+
+
+class InvalidArgument(FsError):
+    """EINVAL: malformed argument (bad name, bad value for a semantic file)."""
+
+    errno_value = errno.EINVAL
+
+
+class CrossDevice(FsError):
+    """EXDEV: rename/link across file systems."""
+
+    errno_value = errno.EXDEV
+
+
+class TooManyLinks(FsError):
+    """ELOOP: symbolic link loop (or nesting too deep)."""
+
+    errno_value = errno.ELOOP
+
+
+class NotSupported(FsError):
+    """ENOTSUP: the file system does not implement this operation."""
+
+    errno_value = errno.ENOTSUP
+
+
+class ReadOnly(FsError):
+    """EROFS: write to a read-only file system or file."""
+
+    errno_value = errno.EROFS
+
+
+class BadFileDescriptor(FsError):
+    """EBADF: stale or wrong-mode file descriptor."""
+
+    errno_value = errno.EBADF
+
+
+class NoData(FsError):
+    """ENODATA: extended attribute not present."""
+
+    errno_value = errno.ENODATA
+
+
+class DeviceBusy(FsError):
+    """EBUSY: resource in use (e.g. unmounting a busy mount)."""
+
+    errno_value = errno.EBUSY
+
+
+class NameTooLong(FsError):
+    """ENAMETOOLONG: path component exceeds the limit."""
+
+    errno_value = errno.ENAMETOOLONG
+
+
+class StaleHandle(FsError):
+    """ESTALE: remote file handle no longer valid (distributed FS)."""
+
+    errno_value = errno.ESTALE
+
+
+class TimedOut(FsError):
+    """ETIMEDOUT: remote operation timed out (distributed FS)."""
+
+    errno_value = errno.ETIMEDOUT

@@ -1,0 +1,151 @@
+"""fanotify-style blocking permission events.
+
+Section 5.2 names both Linux fsnotify APIs: inotify (after-the-fact
+events, :mod:`repro.vfs.notify`) and fanotify.  What fanotify adds is
+*permission events*: a privileged listener is consulted synchronously
+before an open proceeds and may deny it.  That gives yanc deployments a
+hook the paper's security story (§5.1) wants but mode bits cannot
+express — e.g. "no process may open flow files for writing during the
+change freeze", enforced by an ordinary monitoring process.
+
+Scope: FAN_OPEN_PERM / FAN_ACCESS_PERM equivalents, mark-by-inode with
+optional subtree ("mount mark") semantics.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable
+
+from repro.vfs.cred import Credentials
+from repro.vfs.errors import NotPermitted
+
+if TYPE_CHECKING:
+    from repro.vfs.inode import Inode
+
+
+class FanMask(enum.IntFlag):
+    """Permission-event classes (names follow <linux/fanotify.h>)."""
+
+    FAN_OPEN_PERM = 0x1
+    FAN_ACCESS_PERM = 0x2
+    FAN_OPEN_WRITE_PERM = 0x4  # this repo's addition: write-opens only
+
+
+@dataclass(frozen=True)
+class FanEvent:
+    """What a listener sees when asked for a verdict."""
+
+    mask: FanMask
+    inode: "Inode"
+    cred: Credentials
+    writable: bool
+
+
+Verdict = bool  # True = allow, False = deny
+Listener = Callable[[FanEvent], Verdict]
+
+
+class _Mark:
+    def __init__(self, inode: "Inode", mask: FanMask, subtree: bool) -> None:
+        self.inode = inode
+        self.mask = mask
+        self.subtree = subtree
+
+
+class FanotifyGroup:
+    """One listener's set of marks (``fanotify_init`` + marks).
+
+    The listener callback runs synchronously inside the open path —
+    exactly fanotify's contract — so it must be fast and must not touch
+    the file being opened (classic fanotify deadlock, avoided here by the
+    listener receiving the inode, not a path to re-open).
+    """
+
+    def __init__(self, registry: "FanotifyRegistry", listener: Listener) -> None:
+        self._registry = registry
+        self.listener = listener
+        self._marks: list[_Mark] = []
+        self.events_seen = 0
+        self.denials = 0
+
+    def mark(self, inode: "Inode", mask: FanMask, *, subtree: bool = False) -> None:
+        """Watch ``inode`` (or its whole subtree) for permission events."""
+        if not mask:
+            raise ValueError("empty fanotify mask")
+        self._marks.append(_Mark(inode, mask, subtree))
+
+    def close(self) -> None:
+        """Remove this group; pending verdicts are implicitly allowed."""
+        self._registry._groups.discard(self)
+        self._marks.clear()
+
+    # -- registry side --------------------------------------------------------------
+
+    def _matches(self, inode: "Inode", mask: FanMask) -> bool:
+        for mark in self._marks:
+            if not mark.mask & mask:
+                continue
+            if mark.inode is inode:
+                return True
+            if mark.subtree and _is_ancestor(mark.inode, inode):
+                return True
+        return False
+
+    def _ask(self, event: FanEvent) -> Verdict:
+        self.events_seen += 1
+        verdict = self.listener(event)
+        if not verdict:
+            self.denials += 1
+        return verdict
+
+
+def _is_ancestor(ancestor: "Inode", node: "Inode") -> bool:
+    seen: set[int] = set()
+    current = node
+    while True:
+        if current is ancestor:
+            return True
+        if id(current) in seen or not current.dentries:
+            return False
+        seen.add(id(current))
+        current = next(iter(current.dentries))[0]
+
+
+class FanotifyRegistry:
+    """All fanotify groups of one VFS; consulted by the open path."""
+
+    def __init__(self) -> None:
+        self._groups: set[FanotifyGroup] = set()
+
+    def group(self, listener: Listener) -> FanotifyGroup:
+        """fanotify_init: create a group with a verdict callback."""
+        group = FanotifyGroup(self, listener)
+        self._groups.add(group)
+        return group
+
+    def check_open(self, inode: "Inode", cred: Credentials, *, writable: bool) -> None:
+        """Consult every interested group; any deny blocks the open."""
+        if not self._groups:
+            return
+        mask = FanMask.FAN_OPEN_PERM
+        if writable:
+            mask |= FanMask.FAN_OPEN_WRITE_PERM
+        for group in list(self._groups):
+            if not group._matches(inode, mask):
+                continue
+            event = FanEvent(mask=mask, inode=inode, cred=cred, writable=writable)
+            if not group._ask(event):
+                raise NotPermitted(detail="denied by fanotify listener")
+
+    def check_access(self, inode: "Inode", cred: Credentials) -> None:
+        """FAN_ACCESS_PERM: consulted on reads of marked files."""
+        if not self._groups:
+            return
+        for group in list(self._groups):
+            if not group._matches(inode, FanMask.FAN_ACCESS_PERM):
+                continue
+            event = FanEvent(mask=FanMask.FAN_ACCESS_PERM, inode=inode, cred=cred, writable=False)
+            if not group._ask(event):
+                raise NotPermitted(detail="denied by fanotify listener")

@@ -1,0 +1,16 @@
+"""tmpfs: the plain in-memory file system.
+
+This is the reference :class:`~repro.vfs.inode.Filesystem` with no semantic
+behaviour — the root file system of every simulated host, and the substrate
+regular applications write their own state to.
+"""
+
+from __future__ import annotations
+
+from repro.vfs.inode import Filesystem
+
+
+class MemFs(Filesystem):
+    """An ordinary read-write in-memory file system."""
+
+    fs_type = "tmpfs"

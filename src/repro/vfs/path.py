@@ -1,0 +1,53 @@
+"""Path string utilities (purely lexical)."""
+
+from __future__ import annotations
+
+from repro.vfs.errors import InvalidArgument
+
+
+def split_path(path: str) -> list[str]:
+    """Split an absolute path into components; rejects relative paths."""
+    if not path or not path.startswith("/"):
+        raise InvalidArgument(path, "path must be absolute")
+    return [part for part in path.split("/") if part and part != "."]
+
+
+def normalize(path: str) -> str:
+    """Lexically normalize: collapse slashes and '.', resolve '..'."""
+    stack: list[str] = []
+    for part in split_path(path):
+        if part == "..":
+            if stack:
+                stack.pop()
+        else:
+            stack.append(part)
+    return "/" + "/".join(stack)
+
+
+def join(base: str, *parts: str) -> str:
+    """Join path fragments with single slashes."""
+    out = base.rstrip("/")
+    for part in parts:
+        out += "/" + part.strip("/")
+    return out or "/"
+
+
+def dirname(path: str) -> str:
+    """The parent of ``path`` ('/' has itself as parent)."""
+    parts = split_path(path)
+    if not parts:
+        return "/"
+    return "/" + "/".join(parts[:-1])
+
+
+def basename(path: str) -> str:
+    """The final component of ``path`` ('' for '/')."""
+    parts = split_path(path)
+    return parts[-1] if parts else ""
+
+
+def is_relative_to(path: str, prefix: str) -> bool:
+    """True when ``path`` equals or lives under ``prefix`` (both absolute)."""
+    path_parts = split_path(path)
+    prefix_parts = split_path(prefix)
+    return path_parts[: len(prefix_parts)] == prefix_parts

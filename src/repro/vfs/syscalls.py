@@ -1,0 +1,353 @@
+"""The metered syscall facade: what an application process sees.
+
+Applications never touch :class:`~repro.vfs.vfs.VirtualFileSystem` directly;
+they hold a :class:`Syscalls` object that carries their credentials, mount
+namespace, working directory, and file-descriptor table, and meters every
+call through a :class:`~repro.perf.meter.SyscallMeter`.  This boundary is
+what makes section 8.1's syscall/context-switch accounting exact: one
+``Syscalls`` method call == one system call.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+from repro.perf.meter import SyscallMeter
+from repro.vfs.acl import Acl
+from repro.vfs.cred import ROOT, Credentials
+from repro.vfs.errors import BadFileDescriptor
+from repro.vfs.inode import Filesystem
+from repro.vfs.mount import MountNamespace
+from repro.vfs.notify import EventMask, Inotify, NotifyEvent
+from repro.vfs.path import join, normalize
+from repro.vfs.stat import Stat
+from repro.vfs.vfs import (
+    O_APPEND,
+    O_CREAT,
+    O_EXCL,
+    O_RDONLY,
+    O_RDWR,
+    O_TRUNC,
+    O_WRONLY,
+    FileHandle,
+    VirtualFileSystem,
+)
+
+__all__ = [
+    "Syscalls",
+    "O_APPEND",
+    "O_CREAT",
+    "O_EXCL",
+    "O_RDONLY",
+    "O_RDWR",
+    "O_TRUNC",
+    "O_WRONLY",
+]
+
+
+class Syscalls:
+    """A process's system-call interface to one VFS."""
+
+    def __init__(
+        self,
+        vfs: VirtualFileSystem,
+        *,
+        cred: Credentials = ROOT,
+        ns: MountNamespace | None = None,
+        meter: SyscallMeter | None = None,
+        cwd: str = "/",
+    ) -> None:
+        self.vfs = vfs
+        self.cred = cred
+        self.ns = ns or vfs.root_ns
+        self.meter = meter or SyscallMeter()
+        self._cwd = cwd
+        self._fds: dict[int, FileHandle] = {}
+        self._next_fd = 3
+
+    def spawn(
+        self,
+        *,
+        cred: Credentials | None = None,
+        ns: MountNamespace | None = None,
+        meter: SyscallMeter | None = None,
+        cwd: str | None = None,
+    ) -> "Syscalls":
+        """Fork-like: a new process context on the same VFS.
+
+        The child gets its own fd table and (by default) its own meter;
+        credentials, namespace, and cwd are inherited unless overridden.
+        """
+        return Syscalls(
+            self.vfs,
+            cred=cred or self.cred,
+            ns=ns or self.ns,
+            meter=meter or SyscallMeter(model=self.meter.model),
+            cwd=cwd or self._cwd,
+        )
+
+    # -- path handling ------------------------------------------------------------
+
+    def _abspath(self, path: str) -> str:
+        if path.startswith("/"):
+            return path
+        return normalize(join(self._cwd, path))
+
+    def getcwd(self) -> str:
+        """Current working directory."""
+        return self._cwd
+
+    def chdir(self, path: str) -> None:
+        """Change working directory (must resolve to a directory)."""
+        self.meter.enter("chdir")
+        path = self._abspath(path)
+        from repro.vfs.inode import require_dir
+
+        require_dir(self.vfs.resolve(self.ns, self.cred, path), path)
+        self._cwd = normalize(path)
+
+    # -- descriptors ---------------------------------------------------------------
+
+    def _handle(self, fd: int) -> FileHandle:
+        try:
+            return self._fds[fd]
+        except KeyError:
+            raise BadFileDescriptor(detail=f"fd {fd}") from None
+
+    def open(self, path: str, flags: int = O_RDONLY, mode: int = 0o644) -> int:
+        """open(2); returns a file descriptor."""
+        self.meter.enter("open")
+        handle = self.vfs.open(self.ns, self.cred, self._abspath(path), flags, mode)
+        fd = self._next_fd
+        self._next_fd += 1
+        self._fds[fd] = handle
+        return fd
+
+    def close(self, fd: int) -> None:
+        """close(2)."""
+        self.meter.enter("close")
+        handle = self._fds.pop(fd, None)
+        if handle is None:
+            raise BadFileDescriptor(detail=f"fd {fd}")
+        handle.close()
+
+    def read(self, fd: int, size: int = -1) -> bytes:
+        """read(2) from the descriptor's offset."""
+        handle = self._handle(fd)
+        data = handle.read(size)
+        self.meter.enter("read", nbytes=len(data))
+        return data
+
+    def write(self, fd: int, data: bytes) -> int:
+        """write(2) at the descriptor's offset."""
+        self.meter.enter("write", nbytes=len(data))
+        return self._handle(fd).write(data)
+
+    def pread(self, fd: int, size: int, offset: int) -> bytes:
+        """pread(2)."""
+        data = self._handle(fd).pread(size, offset)
+        self.meter.enter("pread", nbytes=len(data))
+        return data
+
+    def pwrite(self, fd: int, data: bytes, offset: int) -> int:
+        """pwrite(2)."""
+        self.meter.enter("pwrite", nbytes=len(data))
+        return self._handle(fd).pwrite(data, offset)
+
+    def lseek(self, fd: int, offset: int) -> int:
+        """lseek(2) (absolute only)."""
+        self.meter.enter("lseek")
+        return self._handle(fd).seek(offset)
+
+    def ftruncate(self, fd: int, size: int) -> None:
+        """ftruncate(2)."""
+        self.meter.enter("ftruncate")
+        self._handle(fd).truncate(size)
+
+    def fstat(self, fd: int) -> Stat:
+        """fstat(2)."""
+        self.meter.enter("fstat")
+        return self._handle(fd).inode.stat()
+
+    # -- whole-file helpers (decompose into real syscalls for the meter) -----------
+
+    def read_text(self, path: str) -> str:
+        """open + read + close, decoded as UTF-8."""
+        fd = self.open(path, O_RDONLY)
+        try:
+            return self.read(fd).decode()
+        finally:
+            self.close(fd)
+
+    def read_bytes(self, path: str) -> bytes:
+        """open + read + close."""
+        fd = self.open(path, O_RDONLY)
+        try:
+            return self.read(fd)
+        finally:
+            self.close(fd)
+
+    def write_text(self, path: str, text: str, *, append: bool = False) -> int:
+        """open + write + close (the ``echo value > file`` idiom)."""
+        flags = O_WRONLY | O_CREAT | (O_APPEND if append else O_TRUNC)
+        fd = self.open(path, flags)
+        try:
+            return self.write(fd, text.encode())
+        finally:
+            self.close(fd)
+
+    def write_bytes(self, path: str, data: bytes, *, append: bool = False) -> int:
+        """open + write + close with raw bytes."""
+        flags = O_WRONLY | O_CREAT | (O_APPEND if append else O_TRUNC)
+        fd = self.open(path, flags)
+        try:
+            return self.write(fd, data)
+        finally:
+            self.close(fd)
+
+    # -- namespace / tree operations -------------------------------------------------
+
+    def mkdir(self, path: str, mode: int = 0o755) -> None:
+        """mkdir(2)."""
+        self.meter.enter("mkdir")
+        self.vfs.mkdir(self.ns, self.cred, self._abspath(path), mode)
+
+    def makedirs(self, path: str, mode: int = 0o755) -> None:
+        """mkdir -p: create missing ancestors."""
+        parts = [p for p in self._abspath(path).split("/") if p]
+        current = ""
+        for part in parts:
+            current += "/" + part
+            if not self.exists(current):
+                self.mkdir(current, mode)
+
+    def rmdir(self, path: str) -> None:
+        """rmdir(2)."""
+        self.meter.enter("rmdir")
+        self.vfs.rmdir(self.ns, self.cred, self._abspath(path))
+
+    def unlink(self, path: str) -> None:
+        """unlink(2)."""
+        self.meter.enter("unlink")
+        self.vfs.unlink(self.ns, self.cred, self._abspath(path))
+
+    def rename(self, oldpath: str, newpath: str) -> None:
+        """rename(2)."""
+        self.meter.enter("rename")
+        self.vfs.rename(self.ns, self.cred, self._abspath(oldpath), self._abspath(newpath))
+
+    def symlink(self, target: str, linkpath: str) -> None:
+        """symlink(2)."""
+        self.meter.enter("symlink")
+        self.vfs.symlink(self.ns, self.cred, target, self._abspath(linkpath))
+
+    def readlink(self, path: str) -> str:
+        """readlink(2)."""
+        self.meter.enter("readlink")
+        return self.vfs.readlink(self.ns, self.cred, self._abspath(path))
+
+    def link(self, oldpath: str, newpath: str) -> None:
+        """link(2)."""
+        self.meter.enter("link")
+        self.vfs.link(self.ns, self.cred, self._abspath(oldpath), self._abspath(newpath))
+
+    def stat(self, path: str) -> Stat:
+        """stat(2)."""
+        self.meter.enter("stat")
+        return self.vfs.stat(self.ns, self.cred, self._abspath(path))
+
+    def lstat(self, path: str) -> Stat:
+        """lstat(2)."""
+        self.meter.enter("lstat")
+        return self.vfs.lstat(self.ns, self.cred, self._abspath(path))
+
+    def exists(self, path: str) -> bool:
+        """access(2)-style existence probe."""
+        self.meter.enter("access")
+        return self.vfs.exists(self.ns, self.cred, self._abspath(path))
+
+    def listdir(self, path: str) -> list[str]:
+        """getdents(2): directory entry names."""
+        self.meter.enter("getdents")
+        return self.vfs.readdir(self.ns, self.cred, self._abspath(path))
+
+    def truncate(self, path: str, size: int) -> None:
+        """truncate(2)."""
+        self.meter.enter("truncate")
+        self.vfs.truncate(self.ns, self.cred, self._abspath(path), size)
+
+    def chmod(self, path: str, mode: int) -> None:
+        """chmod(2)."""
+        self.meter.enter("chmod")
+        self.vfs.chmod(self.ns, self.cred, self._abspath(path), mode)
+
+    def chown(self, path: str, uid: int, gid: int) -> None:
+        """chown(2)."""
+        self.meter.enter("chown")
+        self.vfs.chown(self.ns, self.cred, self._abspath(path), uid, gid)
+
+    def set_acl(self, path: str, acl: Acl) -> None:
+        """setfacl equivalent."""
+        self.meter.enter("setxattr")  # ACLs ride the xattr syscall on Linux
+        self.vfs.set_acl(self.ns, self.cred, self._abspath(path), acl)
+
+    def setxattr(self, path: str, name: str, value: bytes) -> None:
+        """setxattr(2)."""
+        self.meter.enter("setxattr")
+        self.vfs.setxattr(self.ns, self.cred, self._abspath(path), name, value)
+
+    def getxattr(self, path: str, name: str) -> bytes:
+        """getxattr(2)."""
+        self.meter.enter("getxattr")
+        return self.vfs.getxattr(self.ns, self.cred, self._abspath(path), name)
+
+    def listxattr(self, path: str) -> list[str]:
+        """listxattr(2)."""
+        self.meter.enter("listxattr")
+        return self.vfs.listxattr(self.ns, self.cred, self._abspath(path))
+
+    def removexattr(self, path: str, name: str) -> None:
+        """removexattr(2)."""
+        self.meter.enter("removexattr")
+        self.vfs.removexattr(self.ns, self.cred, self._abspath(path), name)
+
+    def mount(self, path: str, fs: Filesystem, *, source: str = "") -> None:
+        """mount(2)."""
+        self.meter.enter("mount")
+        self.vfs.mount(self.ns, self.cred, self._abspath(path), fs, source=source)
+
+    def bind_mount(self, source_path: str, target_path: str) -> None:
+        """mount(2) with MS_BIND."""
+        self.meter.enter("mount")
+        self.vfs.bind_mount(self.ns, self.cred, self._abspath(source_path), self._abspath(target_path))
+
+    def umount(self, path: str) -> None:
+        """umount(2)."""
+        self.meter.enter("umount")
+        self.vfs.umount(self.ns, self.cred, self._abspath(path))
+
+    # -- notification ------------------------------------------------------------------
+
+    def inotify_init(self) -> Inotify:
+        """inotify_init(2)."""
+        self.meter.enter("inotify_init")
+        return self.vfs.inotify()
+
+    def inotify_add_watch(self, instance: Inotify, path: str, mask: EventMask) -> int:
+        """inotify_add_watch(2): watch a path."""
+        self.meter.enter("inotify_add_watch")
+        inode = self.vfs.resolve(self.ns, self.cred, self._abspath(path))
+        return instance.add_watch(inode, mask)
+
+    def inotify_read(self, instance: Inotify) -> list[NotifyEvent]:
+        """read(2) on the inotify descriptor: drain queued events."""
+        self.meter.enter("read")
+        return instance.read()
+
+    # -- traversal ---------------------------------------------------------------------
+
+    def walk(self, path: str) -> Iterator[tuple[str, list[str], list[str]]]:
+        """os.walk equivalent (each directory visit is one getdents)."""
+        for dirpath, dirnames, filenames in self.vfs.walk(self.ns, self.cred, self._abspath(path)):
+            self.meter.enter("getdents")
+            yield dirpath, dirnames, filenames

@@ -1,0 +1,48 @@
+"""Match algebra for view translation.
+
+A slice is defined by a *headerspace* match; a tenant flow is admitted iff
+its match has a non-empty intersection with the headerspace, and the flow
+actually installed on hardware is that intersection — so a tenant can
+never capture traffic outside its slice, even by leaving fields wildcard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields
+
+from repro.dataplane.match import Match
+
+
+def intersect(tenant: Match, headerspace: Match) -> Match | None:
+    """The match hitting exactly the packets both matches hit.
+
+    Returns None when the intersection is empty (the tenant asked for
+    traffic outside the slice).
+    """
+    kwargs: dict[str, object] = {}
+    for f in fields(Match):
+        mine = getattr(tenant, f.name)
+        theirs = getattr(headerspace, f.name)
+        if mine is None and theirs is None:
+            continue
+        if mine is None:
+            kwargs[f.name] = theirs
+        elif theirs is None:
+            kwargs[f.name] = mine
+        elif f.name in ("nw_src", "nw_dst"):
+            if mine.subnet_of(theirs):
+                kwargs[f.name] = mine
+            elif theirs.subnet_of(mine):
+                kwargs[f.name] = theirs
+            else:
+                return None
+        elif mine == theirs:
+            kwargs[f.name] = mine
+        else:
+            return None
+    return Match(**kwargs)  # type: ignore[arg-type]
+
+
+def admits(headerspace: Match, tenant: Match) -> bool:
+    """True when the tenant match overlaps the slice at all."""
+    return intersect(tenant, headerspace) is not None

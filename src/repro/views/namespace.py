@@ -1,0 +1,79 @@
+"""Namespace isolation for views (paper section 5.3).
+
+A tenant application should not merely be *asked* to stay inside its view
+— with Linux mount namespaces it can be *unable* to see anything else.
+:func:`view_namespace` builds a namespace in which the view subtree is
+bind-mounted over ``/net``, so the tenant's ``/net/switches`` is its
+slice's switches and the master tree is unreachable by any path.
+"""
+
+from __future__ import annotations
+
+from repro.vfs.cred import Credentials
+from repro.vfs.errors import InvalidArgument
+from repro.vfs.inode import require_dir
+from repro.vfs.mount import MountNamespace
+from repro.vfs.syscalls import Syscalls
+from repro.vfs.vfs import VirtualFileSystem
+
+
+def view_namespace(
+    vfs: VirtualFileSystem,
+    view_path: str,
+    *,
+    mount_point: str = "/net",
+    name: str = "",
+) -> MountNamespace:
+    """A cloned namespace where ``view_path`` is mounted over ``/net``."""
+    root_ns = vfs.root_ns
+    from repro.vfs.cred import ROOT
+
+    view_dir = require_dir(vfs.resolve(root_ns, ROOT, view_path), view_path)
+    ns = root_ns.clone(name=name or f"view:{view_path}")
+    # Find the mount-point directory in the *root* file system (not the
+    # mounted root) so the bind shadows the whole yanc mount.
+    from repro.vfs.path import split_path
+
+    parts = split_path(mount_point)
+    node = ns.root_entry.root
+    for part in parts:
+        node = require_dir(node, mount_point).lookup(part)
+    mountpoint = require_dir(node, mount_point)
+    if ns.mount_at(mountpoint) is not None:
+        ns.umount(mountpoint)
+    ns.bind(mountpoint, view_dir, source=view_path)
+    return ns
+
+
+def grant_view(sc: Syscalls, view_path: str, uid: int, gid: int) -> int:
+    """Hand a view subtree to a tenant: chown everything under it.
+
+    This is the paper's section 5.1 in action — the admin uses ordinary
+    ownership to delegate a slice.  Returns the number of nodes chowned.
+    """
+    count = 0
+    sc.chown(view_path, uid, gid)
+    count += 1
+    for dirpath, dirnames, filenames in sc.walk(view_path):
+        for name in dirnames + filenames:
+            sc.chown(f"{dirpath}/{name}", uid, gid)
+            count += 1
+    return count
+
+
+def tenant_process(
+    vfs: VirtualFileSystem,
+    view_path: str,
+    cred: Credentials,
+    *,
+    mount_point: str = "/net",
+) -> Syscalls:
+    """A process context jailed inside a view.
+
+    The returned facade sees the view as ``/net`` and runs with the given
+    (non-root, typically) credentials.
+    """
+    if cred.is_root:
+        raise InvalidArgument(detail="tenant processes should not run as root")
+    ns = view_namespace(vfs, view_path, mount_point=mount_point)
+    return Syscalls(vfs, cred=cred, ns=ns)

@@ -1,0 +1,265 @@
+"""The slicer: a translation application between two portions of the tree.
+
+"To create a new view, an application effectively interacts with two
+portions of the file system simultaneously — providing a translation
+between them" (paper section 4.2).  A :class:`Slicer` materializes a view
+directory holding a *subset* of the switches and a *headerspace* subset of
+traffic; tenants operate on the view exactly as they would on ``/net``
+(same schema — views are structurally identical), and the slicer:
+
+* mirrors sliced switches (ids, ports, intra-slice peer links) into the
+  view;
+* write-through-translates committed tenant flows: the installed match is
+  the intersection of the tenant match with the slice headerspace, the
+  priority is clamped below the system band, and flows outside the slice
+  are rejected in place (a ``state.status`` file in the tenant's flow
+  directory);
+* forwards headerspace-matching packet-ins from the master tree into the
+  tenant buffers inside the view;
+* mirrors flow counters back into the view.
+
+Because a view contains a ``views/`` directory too, slicers stack: run a
+second slicer with ``root`` pointing inside the first view (§4.2:
+"views can be stacked arbitrarily").
+"""
+
+from __future__ import annotations
+
+from repro.dataplane.match import Match
+from repro.netpkt.packet import parse_frame
+from repro.vfs.errors import FileExists, FsError
+from repro.vfs.notify import EventMask
+from repro.yancfs.client import YancClient
+from repro.apps.base import YancApp
+from repro.views.merge import intersect
+
+_DIR_MASK = EventMask.IN_CREATE | EventMask.IN_DELETE | EventMask.IN_MOVED_FROM | EventMask.IN_MOVED_TO
+_FLOW_MASK = EventMask.IN_MODIFY | EventMask.IN_CLOSE_WRITE
+
+#: Tenant flows are clamped below the system apps' priority band.
+MAX_TENANT_PRIORITY = 0x7FFF
+
+
+class Slicer(YancApp):
+    """One view's translation process."""
+
+    def __init__(
+        self,
+        sc,
+        sim,
+        *,
+        view: str,
+        switches: list[str],
+        headerspace: Match,
+        root: str = "/net",
+        counter_sync_interval: float = 1.0,
+    ) -> None:
+        super().__init__(sc, sim, root=root, name=f"slicer_{view}")
+        self.view = view
+        self.sliced_switches = list(switches)
+        self.headerspace = headerspace
+        self.counter_sync_interval = counter_sync_interval
+        self.view_yc: YancClient = self.yc.in_view(view)
+        #: (switch, tenant flow) -> master flow name
+        self._installed: dict[tuple[str, str], str] = {}
+        self._flow_versions: dict[tuple[str, str], int] = {}
+        self.flows_translated = 0
+        self.flows_rejected = 0
+        self.events_forwarded = 0
+
+    # -- setup ---------------------------------------------------------------------
+
+    def on_start(self) -> None:
+        if not self.sc.exists(self.view_yc.root):
+            self.yc.create_view(self.view)
+        for switch in self.sliced_switches:
+            self._mirror_switch(switch)
+        self._mirror_peer_links()
+        if self.counter_sync_interval > 0:
+            self.every(self.counter_sync_interval, self.sync_counters)
+
+    def _mirror_switch(self, switch: str) -> None:
+        if not self.sc.exists(self.yc.switch_path(switch)):
+            return
+        view_path = self.view_yc.switch_path(switch)
+        if not self.sc.exists(view_path):
+            self.view_yc.create_switch(switch)
+            try:
+                dpid = self.yc.switch_dpid(switch)
+                self.sc.write_text(f"{view_path}/id", str(dpid))
+            except (FsError, ValueError):
+                pass
+        for port_name in self.yc.ports(switch):
+            if not self.sc.exists(self.view_yc.port_path(switch, port_name)):
+                try:
+                    port_no = int(port_name.rsplit("_", 1)[-1])
+                except ValueError:
+                    continue
+                self.view_yc.create_port(switch, port_no)
+        # master-side packet-in subscription for this sliced switch
+        self.yc.subscribe_events(switch, self.app_name)
+        self.watch(self.yc.events_path(switch, self.app_name), EventMask.IN_CREATE, ("master_buffer", switch))
+        # tenant-side watches
+        self.watch(f"{view_path}/flows", _DIR_MASK, ("view_flows", switch))
+        for flow in self.view_yc.flows(switch):
+            self.watch(self.view_yc.flow_path(switch, flow), _FLOW_MASK, ("view_flow", switch, flow))
+        self.watch(f"{view_path}/packet_out", _DIR_MASK | EventMask.IN_CLOSE_WRITE, ("view_pktout", switch))
+
+    def _mirror_peer_links(self) -> None:
+        for switch in self.sliced_switches:
+            try:
+                port_names = self.yc.ports(switch)
+            except FsError:
+                continue
+            for port_name in port_names:
+                target = self.yc.peer_of(switch, port_name)
+                if target is None:
+                    continue
+                parts = target.rstrip("/").split("/")
+                peer_switch, peer_port_name = parts[-3], parts[-1]
+                if peer_switch in self.sliced_switches:
+                    try:
+                        self.view_yc.set_peer(switch, port_name, peer_switch, peer_port_name)
+                    except FsError:
+                        continue
+
+    # -- events -----------------------------------------------------------------------
+
+    def on_event(self, ctx, event) -> None:
+        kind = ctx[0]
+        if kind == "view_flows":
+            self._on_view_flows_event(ctx[1], event)
+        elif kind == "view_flow":
+            if event.name == "version":
+                self._sync_tenant_flow(ctx[1], ctx[2])
+        elif kind == "master_buffer":
+            self._forward_packet_ins(ctx[1])
+        elif kind == "view_pktout":
+            self._forward_packet_out(ctx[1], event)
+
+    def _on_view_flows_event(self, switch: str, event) -> None:
+        if event.name is None:
+            return
+        if event.mask & (EventMask.IN_CREATE | EventMask.IN_MOVED_TO):
+            self.watch(self.view_yc.flow_path(switch, event.name), _FLOW_MASK, ("view_flow", switch, event.name))
+            self._sync_tenant_flow(switch, event.name)
+        elif event.mask & (EventMask.IN_DELETE | EventMask.IN_MOVED_FROM):
+            master_name = self._installed.pop((switch, event.name), None)
+            self._flow_versions.pop((switch, event.name), None)
+            if master_name is not None:
+                try:
+                    self.yc.delete_flow(switch, master_name)
+                except FsError:
+                    pass
+
+    # -- flow translation -----------------------------------------------------------------
+
+    def _sync_tenant_flow(self, switch: str, flow: str) -> None:
+        try:
+            spec = self.view_yc.read_flow(switch, flow)
+        except FsError:
+            return
+        key = (switch, flow)
+        if spec.version <= self._flow_versions.get(key, 0):
+            return
+        self._flow_versions[key] = spec.version
+        merged = intersect(spec.match, self.headerspace)
+        if merged is None:
+            self.flows_rejected += 1
+            self._set_status(switch, flow, "rejected: match outside slice headerspace")
+            return
+        master_name = f"v_{self.view}_{flow}"
+        priority = min(spec.priority, MAX_TENANT_PRIORITY)
+        old = self._installed.get(key)
+        try:
+            if old is not None and self.sc.exists(self.yc.flow_path(switch, old)):
+                self.yc.delete_flow(switch, old)
+            self.yc.create_flow(
+                switch,
+                master_name,
+                merged,
+                list(spec.actions),
+                priority=priority,
+                idle_timeout=spec.idle_timeout or None,
+                hard_timeout=spec.hard_timeout or None,
+            )
+        except (FileExists, FsError) as exc:
+            self.flows_rejected += 1
+            self._set_status(switch, flow, f"rejected: {exc}")
+            return
+        self._installed[key] = master_name
+        self.flows_translated += 1
+        self._set_status(switch, flow, "installed")
+
+    def _set_status(self, switch: str, flow: str, status: str) -> None:
+        try:
+            self.sc.write_text(f"{self.view_yc.flow_path(switch, flow)}/state.status", status)
+        except FsError:
+            pass
+
+    # -- packet-in / packet-out forwarding ---------------------------------------------------
+
+    def _forward_packet_ins(self, switch: str) -> None:
+        try:
+            events = self.yc.read_events(switch, self.app_name)
+        except FsError:
+            return
+        for pkt in events:
+            if not self._in_headerspace(pkt.data, pkt.in_port):
+                continue
+            try:
+                apps = self.sc.listdir(f"{self.view_yc.switch_path(switch)}/events")
+            except FsError:
+                continue
+            for app in apps:
+                try:
+                    self.view_yc.write_packet_in(
+                        switch,
+                        app,
+                        pkt.seq,
+                        in_port=pkt.in_port,
+                        reason=pkt.reason,
+                        buffer_id=0xFFFFFFFF,  # buffers do not cross views
+                        total_len=pkt.total_len,
+                        data=pkt.data,
+                    )
+                    self.events_forwarded += 1
+                except FsError:
+                    continue
+
+    def _in_headerspace(self, data: bytes, in_port: int) -> bool:
+        try:
+            frame = parse_frame(data)
+        except ValueError:
+            return False
+        return self.headerspace.matches(frame.key, in_port)
+
+    def _forward_packet_out(self, switch: str, event) -> None:
+        if event.name is None or not event.mask & EventMask.IN_CLOSE_WRITE:
+            return
+        spool = f"{self.view_yc.switch_path(switch)}/packet_out/{event.name}"
+        try:
+            data = self.sc.read_bytes(spool)
+            self.sc.unlink(spool)
+        except FsError:
+            return
+        # Only forward frames the tenant is allowed to source.
+        if data and not self._in_headerspace(data, 0):
+            return
+        try:
+            self.sc.write_bytes(f"{self.yc.switch_path(switch)}/packet_out/{event.name}", data)
+        except FsError:
+            pass
+
+    # -- counters ----------------------------------------------------------------------------
+
+    def sync_counters(self) -> None:
+        """Mirror master flow counters into the tenant's flow dirs."""
+        for (switch, flow), master_name in list(self._installed.items()):
+            try:
+                counters = self.yc.flow_counters(switch, master_name)
+                base = f"{self.view_yc.flow_path(switch, flow)}/counters"
+                for name, value in counters.items():
+                    self.sc.write_text(f"{base}/{name}", str(value))
+            except FsError:
+                continue

@@ -1,0 +1,377 @@
+"""The yanc file system: schema node classes.
+
+Implements the layout of paper figures 2 and 3 with the semantics of
+section 3:
+
+* **semantic mkdir** — creating an object directory auto-populates its
+  children (``mkdir views/new_view`` also creates ``hosts``, ``switches``,
+  ``views``; a new switch gets ``counters/ flows/ ports/ events/`` and its
+  attribute files; a new flow gets ``counters/`` and ``version``);
+* **recursive rmdir** — removing an object removes its subtree (§3.2);
+* **validated attribute files** — ``match.*``, ``action.*``, ``priority``,
+  ``timeout``, ``version``, ``config.port_down`` reject unparseable content
+  at close and restore the previous value;
+* **peer symlinks** — each port may carry exactly one symlink, ``peer``,
+  and pointing it anywhere but a port is an error (§3.3);
+* **views nest arbitrarily** — a view directory contains the same three
+  top-level dirs as the root, so view subtrees are structurally identical
+  to the master tree (§4.2).
+"""
+
+from __future__ import annotations
+
+from repro.vfs.cred import Credentials
+from repro.vfs.errors import InvalidArgument, NotPermitted
+from repro.vfs.inode import DirInode, FileInode, Filesystem, Inode
+from repro.vfs.stat import DEFAULT_DIR_MODE, DEFAULT_FILE_MODE, FileType
+from repro.yancfs import validate
+
+#: Files every switch directory carries (paper figure 3, left).
+SWITCH_ATTRIBUTE_FILES = ("actions", "capabilities", "id", "num_buffers")
+
+#: Subdirectories every switch directory carries.
+SWITCH_SUBDIRS = ("counters", "flows", "ports", "events")
+
+#: The three top-level directories (paper figure 2).
+TOP_LEVEL_DIRS = ("hosts", "switches", "views")
+
+
+class AttributeFile(FileInode):
+    """A text attribute file validated (and rolled back) on close."""
+
+    def __init__(self, fs: Filesystem, *, mode: int, uid: int, gid: int, validator: validate.Validator | None = None) -> None:
+        super().__init__(fs, mode=mode, uid=uid, gid=gid)
+        self.validator = validator
+        self._last_valid = b""
+
+    def on_close_write(self, cred: Credentials) -> None:
+        text = self.read_all().decode(errors="replace")
+        if self.validator is not None:
+            try:
+                self.validator(text)
+            except InvalidArgument:
+                self.set_content(self._last_valid)
+                raise
+        self._last_valid = self.read_all()
+
+
+class ObjectDir(DirInode):
+    """A yanc object directory: rmdir is automatically recursive (§3.2)."""
+
+    def recursive_rmdir_ok(self) -> bool:
+        return True
+
+
+class CountersDir(ObjectDir):
+    """Counters: numeric files maintained by the driver."""
+
+    def may_create(self, name: str, ftype: FileType, cred: Credentials) -> None:
+        if ftype is not FileType.REGULAR:
+            raise NotPermitted(name, "counters hold plain files only")
+
+
+def _make_attr(fs: Filesystem, parent: DirInode, name: str, content: str, *, validator: validate.Validator | None = None, mode: int = DEFAULT_FILE_MODE) -> AttributeFile:
+    node = AttributeFile(fs, mode=mode, uid=parent.uid, gid=parent.gid, validator=validator)
+    node.set_content(content.encode())
+    node._last_valid = content.encode()
+    parent.attach(name, node)
+    return node
+
+
+def _make_counters(fs: Filesystem, parent: DirInode, names: tuple[str, ...]) -> CountersDir:
+    counters = CountersDir(fs, mode=DEFAULT_DIR_MODE, uid=parent.uid, gid=parent.gid)
+    parent.attach("counters", counters)
+    for name in names:
+        _make_attr(fs, counters, name, "0")
+    return counters
+
+
+class FlowNode(ObjectDir):
+    """One flow entry: ``match.*``/``action.*`` files plus commit protocol."""
+
+    def on_child_attached(self, name: str, node: Inode) -> None:
+        # Wire validators onto files created empty via open(O_CREAT).
+        if isinstance(node, AttributeFile) and node.validator is None and not name.startswith("state."):
+            node.validator = validate.flow_file_validator(name)
+
+    def may_create(self, name: str, ftype: FileType, cred: Credentials) -> None:
+        if ftype is FileType.DIRECTORY:
+            raise NotPermitted(name, "flows contain no subdirectories")
+        if ftype is FileType.SYMLINK:
+            raise NotPermitted(name, "flows contain no symlinks")
+        validate.flow_file_validator(name)  # raises for unknown names
+
+    def child_factory(self, name: str, ftype: FileType, cred: Credentials) -> Inode:
+        validator = validate.flow_file_validator(name)
+        return AttributeFile(self.fs, mode=DEFAULT_FILE_MODE, uid=cred.uid, gid=cred.gid, validator=validator)
+
+    def populate(self) -> None:
+        """Semantic mkdir: every flow is born with counters/ and version."""
+        _make_counters(self.fs, self, ("packet_count", "byte_count"))
+        _make_attr(self.fs, self, "version", "0", validator=validate.version_number)
+
+
+class FlowsDir(ObjectDir):
+    """``flows/``: mkdir creates a :class:`FlowNode`."""
+
+    def may_create(self, name: str, ftype: FileType, cred: Credentials) -> None:
+        if ftype is not FileType.DIRECTORY:
+            raise NotPermitted(name, "flows/ holds flow directories only")
+
+    def child_factory(self, name: str, ftype: FileType, cred: Credentials) -> Inode:
+        return FlowNode(self.fs, mode=DEFAULT_DIR_MODE, uid=cred.uid, gid=cred.gid)
+
+    def on_child_attached(self, name: str, node: Inode) -> None:
+        if isinstance(node, FlowNode) and not node.has_child("version"):
+            node.populate()
+
+
+class PortNode(ObjectDir):
+    """One port: counters, config/status files, and the ``peer`` symlink."""
+
+    def may_create(self, name: str, ftype: FileType, cred: Credentials) -> None:
+        if ftype is FileType.SYMLINK and name != "peer":
+            raise NotPermitted(name, "the only port symlink is 'peer' (§3.3)")
+        if ftype is FileType.DIRECTORY and name != "counters":
+            raise NotPermitted(name, "ports contain no extra subdirectories")
+
+    def child_factory(self, name: str, ftype: FileType, cred: Credentials) -> Inode:
+        if ftype is FileType.REGULAR:
+            validator = validate.PORT_ATTRIBUTE_VALIDATORS.get(name)
+            return AttributeFile(self.fs, mode=DEFAULT_FILE_MODE, uid=cred.uid, gid=cred.gid, validator=validator)
+        return super().child_factory(name, ftype, cred)
+
+    def populate(self) -> None:
+        """Semantic mkdir: counters plus the standard config/status files."""
+        _make_counters(self.fs, self, ("rx_packets", "tx_packets", "rx_bytes", "tx_bytes", "tx_dropped"))
+        _make_attr(self.fs, self, "config.port_down", "0", validator=validate.boolean_flag)
+        _make_attr(self.fs, self, "config.port_status", "up")
+        _make_attr(self.fs, self, "hw_addr", "00:00:00:00:00:00", validator=validate.mac_address)
+        _make_attr(self.fs, self, "name", "")
+
+
+class PortsDir(ObjectDir):
+    """``ports/``: mkdir creates a :class:`PortNode`."""
+
+    def may_create(self, name: str, ftype: FileType, cred: Credentials) -> None:
+        if ftype is not FileType.DIRECTORY:
+            raise NotPermitted(name, "ports/ holds port directories only")
+
+    def child_factory(self, name: str, ftype: FileType, cred: Credentials) -> Inode:
+        return PortNode(self.fs, mode=DEFAULT_DIR_MODE, uid=cred.uid, gid=cred.gid)
+
+    def on_child_attached(self, name: str, node: Inode) -> None:
+        if isinstance(node, PortNode) and not node.has_child("counters"):
+            node.populate()
+
+
+class EventBufferDir(ObjectDir):
+    """One application's private packet-in buffer (§3.5).
+
+    Message subdirectories are object directories so a consumer can
+    ``rmdir`` one in a single call after reading it.
+    """
+
+    def child_factory(self, name: str, ftype: FileType, cred: Credentials) -> Inode:
+        if ftype is FileType.DIRECTORY:
+            return ObjectDir(self.fs, mode=DEFAULT_DIR_MODE, uid=cred.uid, gid=cred.gid)
+        return super().child_factory(name, ftype, cred)
+
+
+class EventsDir(ObjectDir):
+    """``events/``: each application mkdirs its private buffer here."""
+
+    def may_create(self, name: str, ftype: FileType, cred: Credentials) -> None:
+        if ftype is not FileType.DIRECTORY:
+            raise NotPermitted(name, "events/ holds per-application buffers")
+
+    def child_factory(self, name: str, ftype: FileType, cred: Credentials) -> Inode:
+        return EventBufferDir(self.fs, mode=DEFAULT_DIR_MODE, uid=cred.uid, gid=cred.gid)
+
+
+class PacketOutDir(ObjectDir):
+    """``packet_out/``: a spool for outbound packets (driver-consumed).
+
+    An application emits a packet by creating a file here whose *name*
+    encodes the output port (``<port>.<app>.<seq>``, where port is a
+    number, ``flood``, or ``b<buffer_id>`` to release a buffered packet)
+    and whose *content* is the raw frame.  The driver unlinks entries as
+    it transmits them.  This is the inverse of the ``events/`` buffers and
+    keeps packet transmission inside the file-system API.
+    """
+
+    def may_create(self, name: str, ftype: FileType, cred: Credentials) -> None:
+        if ftype is not FileType.REGULAR:
+            raise NotPermitted(name, "packet_out holds spool files only")
+
+
+class SwitchNode(ObjectDir):
+    """One switch (paper figure 3, left)."""
+
+    def populate(self) -> None:
+        """Semantic mkdir: the figure-3 children, all at once."""
+        _make_counters(self.fs, self, ("rx_packets", "tx_packets", "rx_errors"))
+        flows = FlowsDir(self.fs, mode=DEFAULT_DIR_MODE, uid=self.uid, gid=self.gid)
+        self.attach("flows", flows)
+        ports = PortsDir(self.fs, mode=DEFAULT_DIR_MODE, uid=self.uid, gid=self.gid)
+        self.attach("ports", ports)
+        events = EventsDir(self.fs, mode=DEFAULT_DIR_MODE, uid=self.uid, gid=self.gid)
+        self.attach("events", events)
+        spool = PacketOutDir(self.fs, mode=0o777, uid=self.uid, gid=self.gid)
+        self.attach("packet_out", spool)
+        for name in SWITCH_ATTRIBUTE_FILES:
+            _make_attr(self.fs, self, name, "")
+
+    def may_create(self, name: str, ftype: FileType, cred: Credentials) -> None:
+        if ftype is FileType.SYMLINK:
+            raise NotPermitted(name, "switches contain no symlinks")
+
+
+class SwitchesDir(ObjectDir):
+    """``switches/``: mkdir creates a fully-populated :class:`SwitchNode`."""
+
+    def may_create(self, name: str, ftype: FileType, cred: Credentials) -> None:
+        if ftype is not FileType.DIRECTORY:
+            raise NotPermitted(name, "switches/ holds switch directories only")
+
+    def child_factory(self, name: str, ftype: FileType, cred: Credentials) -> Inode:
+        return SwitchNode(self.fs, mode=DEFAULT_DIR_MODE, uid=cred.uid, gid=cred.gid)
+
+    def on_child_attached(self, name: str, node: Inode) -> None:
+        if isinstance(node, SwitchNode) and not node.has_child("flows"):
+            node.populate()
+
+
+class HostNode(ObjectDir):
+    """One end host: mac/ip/attachment files."""
+
+    def child_factory(self, name: str, ftype: FileType, cred: Credentials) -> Inode:
+        if ftype is FileType.REGULAR:
+            validator = validate.HOST_ATTRIBUTE_VALIDATORS.get(name)
+            return AttributeFile(self.fs, mode=DEFAULT_FILE_MODE, uid=cred.uid, gid=cred.gid, validator=validator)
+        return super().child_factory(name, ftype, cred)
+
+
+class HostsDir(ObjectDir):
+    """``hosts/``: mkdir creates a :class:`HostNode`."""
+
+    def may_create(self, name: str, ftype: FileType, cred: Credentials) -> None:
+        if ftype is not FileType.DIRECTORY:
+            raise NotPermitted(name, "hosts/ holds host directories only")
+
+    def child_factory(self, name: str, ftype: FileType, cred: Credentials) -> Inode:
+        return HostNode(self.fs, mode=DEFAULT_DIR_MODE, uid=cred.uid, gid=cred.gid)
+
+
+class ViewNode(ObjectDir):
+    """One network view: structurally identical to the root (§4.2)."""
+
+    def populate(self) -> None:
+        """Semantic mkdir: hosts/, switches/, views/ (paper §3.1)."""
+        self.attach("hosts", HostsDir(self.fs, mode=DEFAULT_DIR_MODE, uid=self.uid, gid=self.gid))
+        self.attach("switches", SwitchesDir(self.fs, mode=DEFAULT_DIR_MODE, uid=self.uid, gid=self.gid))
+        self.attach("views", ViewsDir(self.fs, mode=DEFAULT_DIR_MODE, uid=self.uid, gid=self.gid))
+
+    def may_remove(self, name: str, node: Inode, cred: Credentials) -> None:
+        if name in TOP_LEVEL_DIRS:
+            raise NotPermitted(name, "a view's structural directories are fixed")
+
+
+class ViewsDir(ObjectDir):
+    """``views/``: mkdir creates a nested, auto-populated :class:`ViewNode`."""
+
+    def may_create(self, name: str, ftype: FileType, cred: Credentials) -> None:
+        if ftype is not FileType.DIRECTORY:
+            raise NotPermitted(name, "views/ holds view directories only")
+
+    def child_factory(self, name: str, ftype: FileType, cred: Credentials) -> Inode:
+        return ViewNode(self.fs, mode=DEFAULT_DIR_MODE, uid=cred.uid, gid=cred.gid)
+
+    def on_child_attached(self, name: str, node: Inode) -> None:
+        if isinstance(node, ViewNode) and not node.has_child("hosts"):
+            node.populate()
+
+
+class StateEntryDir(ObjectDir):
+    """One piece of middlebox state (a NAT binding, a firewall session).
+
+    Plain attribute files so `cp`/`mv` work on it — "we envision that we
+    can use command line utilities such as cp or mv to move state around
+    rather than custom protocols" (§7.2).
+    """
+
+    def may_create(self, name: str, ftype: FileType, cred: Credentials) -> None:
+        if ftype is not FileType.REGULAR:
+            raise NotPermitted(name, "state entries hold plain files only")
+
+
+class StateDir(ObjectDir):
+    """``state/``: a middlebox's migratable state entries."""
+
+    def may_create(self, name: str, ftype: FileType, cred: Credentials) -> None:
+        if ftype is not FileType.DIRECTORY:
+            raise NotPermitted(name, "state/ holds state-entry directories")
+
+    def child_factory(self, name: str, ftype: FileType, cred: Credentials) -> Inode:
+        return StateEntryDir(self.fs, mode=DEFAULT_DIR_MODE, uid=cred.uid, gid=cred.gid)
+
+
+class MiddleboxNode(ObjectDir):
+    """One middlebox (§7.2): attribute files + counters/ + state/."""
+
+    def populate(self) -> None:
+        _make_counters(self.fs, self, ("translated", "dropped", "connections"))
+        state = StateDir(self.fs, mode=DEFAULT_DIR_MODE, uid=self.uid, gid=self.gid)
+        self.attach("state", state)
+        _make_attr(self.fs, self, "type", "")
+        _make_attr(self.fs, self, "public_ip", "")
+
+
+class MiddleboxesDir(ObjectDir):
+    """``middleboxes/``: created lazily by the first middlebox driver."""
+
+    def may_create(self, name: str, ftype: FileType, cred: Credentials) -> None:
+        if ftype is not FileType.DIRECTORY:
+            raise NotPermitted(name, "middleboxes/ holds middlebox directories")
+
+    def child_factory(self, name: str, ftype: FileType, cred: Credentials) -> Inode:
+        return MiddleboxNode(self.fs, mode=DEFAULT_DIR_MODE, uid=cred.uid, gid=cred.gid)
+
+    def on_child_attached(self, name: str, node: Inode) -> None:
+        if isinstance(node, MiddleboxNode) and not node.has_child("state"):
+            node.populate()
+
+
+class YancRootDir(DirInode):
+    """The fixed root: hosts/, switches/, views/ — plus, lazily,
+    middleboxes/ when a middlebox driver starts (§7.2)."""
+
+    def may_create(self, name: str, ftype: FileType, cred: Credentials) -> None:
+        if name == "middleboxes" and ftype is FileType.DIRECTORY:
+            return
+        raise NotPermitted(name, "the yanc root holds only hosts/, switches/, views/")
+
+    def child_factory(self, name: str, ftype: FileType, cred: Credentials) -> Inode:
+        if name == "middleboxes":
+            return MiddleboxesDir(self.fs, mode=DEFAULT_DIR_MODE, uid=cred.uid, gid=cred.gid)
+        return super().child_factory(name, ftype, cred)
+
+    def may_remove(self, name: str, node: Inode, cred: Credentials) -> None:
+        if name != "middleboxes":
+            raise NotPermitted(name, "the yanc root directories are fixed")
+
+    def populate(self) -> None:
+        self.attach("hosts", HostsDir(self.fs, mode=DEFAULT_DIR_MODE, uid=self.uid, gid=self.gid))
+        self.attach("switches", SwitchesDir(self.fs, mode=DEFAULT_DIR_MODE, uid=self.uid, gid=self.gid))
+        self.attach("views", ViewsDir(self.fs, mode=DEFAULT_DIR_MODE, uid=self.uid, gid=self.gid))
+
+
+class YancFs(Filesystem):
+    """The yanc file system, typically mounted on ``/net``."""
+
+    fs_type = "yancfs"
+
+    def make_root(self) -> DirInode:
+        root = YancRootDir(self, mode=DEFAULT_DIR_MODE, uid=0, gid=0)
+        root.populate()
+        return root

@@ -1,0 +1,104 @@
+"""The application base classes (event loop, subscriptions)."""
+
+import pytest
+
+from repro.apps.base import PacketInApp, YancApp
+from repro.dataplane import build_linear
+from repro.runtime import YancController
+from repro.vfs.notify import EventMask
+from repro.yancfs.client import PacketInEvent
+
+
+class CollectingApp(PacketInApp):
+    app_name = "collector"
+
+    def __init__(self, sc, sim, **kwargs):
+        super().__init__(sc, sim, **kwargs)
+        self.packets: list[PacketInEvent] = []
+        self.switches_added: list[str] = []
+        self.switches_removed: list[str] = []
+
+    def handle_packet_in(self, event):
+        self.packets.append(event)
+
+    def on_switch_added(self, switch):
+        self.switches_added.append(switch)
+
+    def on_switch_removed(self, switch):
+        self.switches_removed.append(switch)
+
+
+@pytest.fixture
+def rig():
+    ctl = YancController(build_linear(2)).start()
+    app = CollectingApp(ctl.host.process(), ctl.sim).start()
+    ctl.run(0.1)
+    return ctl, app
+
+
+def test_subscribes_existing_switches(rig):
+    ctl, app = rig
+    assert sorted(app.switches_added) == ["sw1", "sw2"]
+    sc = ctl.host.root_sc
+    assert "collector" in sc.listdir("/net/switches/sw1/events")
+
+
+def test_receives_punts(rig):
+    ctl, app = rig
+    ctl.net.hosts["h1"].send_udp("10.0.0.99", 1, 2, b"miss")
+    ctl.run(0.3)
+    assert len(app.packets) == 1
+    assert app.packets[0].switch == "sw1"
+
+
+def test_subscribes_late_switches(rig):
+    ctl, app = rig
+    late = ctl.net.add_switch("late")
+    ctl.drivers[0].attach_switch(late)
+    ctl.run(0.3)
+    assert "sw3" in app.switches_added
+    assert "collector" in ctl.host.root_sc.listdir("/net/switches/sw3/events")
+
+
+def test_notices_switch_removal(rig):
+    ctl, app = rig
+    ctl.drivers[0].detach_switch(2)
+    ctl.host.root_sc.rmdir("/net/switches/sw2")
+    ctl.run(0.2)
+    assert app.switches_removed == ["sw2"]
+
+
+def test_stop_is_quiescent(rig):
+    ctl, app = rig
+    app.stop()
+    ctl.net.hosts["h1"].send_udp("10.0.0.99", 1, 2, b"miss")
+    ctl.run(0.3)
+    assert app.packets == []
+    assert not app.running
+
+
+def test_watch_on_missing_path_returns_false(rig):
+    ctl, app = rig
+    assert app.watch("/does/not/exist", EventMask.IN_CREATE, ("ctx",)) is False
+    assert app.watch("/net/switches", EventMask.IN_CREATE, ("ctx",)) is True
+
+
+def test_periodic_task_stops_with_app(rig):
+    ctl, _app = rig
+    ticks = []
+    worker = YancApp(ctl.host.process(), ctl.sim, name="ticker")
+    worker.start()
+    worker.every(0.1, lambda: ticks.append(ctl.sim.now))
+    ctl.run(0.35)
+    worker.stop()
+    count = len(ticks)
+    ctl.run(1.0)
+    assert len(ticks) == count
+
+
+def test_name_override():
+    ctl = YancController(build_linear(1)).start()
+    app = CollectingApp(ctl.host.process(), ctl.sim, name="custom").start()
+    ctl.run(0.1)
+    assert app.app_name == "custom"
+    assert "custom" in ctl.host.root_sc.listdir("/net/switches/sw1/events")

@@ -1,0 +1,143 @@
+"""The topology daemon and the reactive router."""
+
+import pytest
+
+from repro.apps import RouterDaemon, TopologyDaemon, read_topology
+from repro.dataplane import build_linear, build_ring, build_tree
+from repro.runtime import YancController
+
+
+def _stack(net, *, router=True):
+    ctl = YancController(net).start()
+    topod = TopologyDaemon(ctl.host.process(), ctl.sim).start()
+    rd = RouterDaemon(ctl.host.process(), ctl.sim).start() if router else None
+    return ctl, topod, rd
+
+
+def test_discovery_matches_ground_truth_linear():
+    ctl, topod, _ = _stack(build_linear(4), router=False)
+    ctl.run(2.0)
+    assert read_topology(ctl.client()) == ctl.expected_topology()
+    assert topod.beacons_received > 0
+
+
+def test_discovery_matches_ground_truth_tree():
+    ctl, _, _ = _stack(build_tree(3, 2), router=False)
+    ctl.run(2.0)
+    assert read_topology(ctl.client()) == ctl.expected_topology()
+
+
+def test_discovery_symmetric_links():
+    ctl, _, _ = _stack(build_ring(4), router=False)
+    ctl.run(2.0)
+    adjacency = read_topology(ctl.client())
+    for src, dst in adjacency.items():
+        assert adjacency[dst] == src
+
+
+def test_stale_links_pruned_after_port_down():
+    ctl, topod, _ = _stack(build_linear(2), router=False)
+    ctl.run(2.0)
+    truth = ctl.expected_topology()
+    assert read_topology(ctl.client()) == truth
+    # cut the inter-switch link
+    link = [l for l in ctl.net.links if hasattr(l.a, "switch") and hasattr(l.b, "switch")][0]
+    link.set_up(False)
+    ctl.run(3 * topod.link_ttl + 1.0)
+    assert read_topology(ctl.client()) == {}
+
+
+def test_lldp_punt_flow_has_top_priority():
+    ctl, _, _ = _stack(build_linear(2), router=False)
+    ctl.run(1.0)
+    yc = ctl.client()
+    spec = yc.read_flow("sw1", "lldp_punt")
+    assert spec.priority == 0xFFFF
+
+
+def test_router_ping_linear():
+    ctl, _, router = _stack(build_linear(3))
+    ctl.run(2.0)
+    h1, h3 = ctl.net.hosts["h1"], ctl.net.hosts["h3"]
+    seq = h1.ping(h3.ip)
+    ctl.run(3.0)
+    assert h1.reachable(seq)
+    assert router.paths_installed >= 1
+
+
+def test_router_ping_ring_no_storm():
+    ctl, _, router = _stack(build_ring(5))
+    ctl.run(2.0)
+    h1, h3 = ctl.net.hosts["h1"], ctl.net.hosts["h3"]
+    seq = h1.ping(h3.ip)
+    ctl.run(3.0)
+    assert h1.reachable(seq)
+    # spanning-tree flooding: each broadcast visits each switch at most once
+    assert router.floods <= 4 * len(ctl.net.switches)
+
+
+def test_router_installs_exact_match_flows():
+    ctl, _, _ = _stack(build_linear(2))
+    ctl.run(2.0)
+    h1, h2 = ctl.net.hosts["h1"], ctl.net.hosts["h2"]
+    seq = h1.ping(h2.ip)
+    ctl.run(3.0)
+    assert h1.reachable(seq)
+    yc = ctl.client()
+    route_flows = [f for f in yc.flows("sw1") if f.startswith("rt-")]
+    assert route_flows
+    spec = yc.read_flow("sw1", route_flows[0])
+    assert spec.match.dl_src is not None and spec.match.dl_dst is not None
+    assert spec.match.in_port is not None
+    assert spec.idle_timeout > 0
+
+
+def test_router_learns_edge_hosts_only():
+    ctl, _, router = _stack(build_linear(3))
+    ctl.run(2.0)
+    h1, h3 = ctl.net.hosts["h1"], ctl.net.hosts["h3"]
+    seq = h1.ping(h3.ip)
+    ctl.run(3.0)
+    assert h1.reachable(seq)
+    locations = {str(mac): loc for mac, loc in router.host_locations.items()}
+    assert locations[str(h1.mac)] == ("sw1", 2)
+    assert locations[str(h3.mac)] == ("sw3", 2)
+
+
+def test_router_records_hosts_in_tree():
+    ctl, _, _ = _stack(build_linear(2))
+    ctl.run(2.0)
+    h1, h2 = ctl.net.hosts["h1"], ctl.net.hosts["h2"]
+    h1.ping(h2.ip)
+    ctl.run(3.0)
+    yc = ctl.client()
+    hosts = yc.hosts()
+    assert str(h1.mac) in hosts
+    attached = ctl.host.root_sc.read_text(f"/net/hosts/{h1.mac}/attached_to")
+    assert attached.startswith("sw1:")
+
+
+def test_second_ping_uses_installed_path_without_new_punt():
+    ctl, _, router = _stack(build_linear(2))
+    ctl.run(2.0)
+    h1, h2 = ctl.net.hosts["h1"], ctl.net.hosts["h2"]
+    seq = h1.ping(h2.ip)
+    ctl.run(3.0)
+    assert h1.reachable(seq)
+    paths_before = router.paths_installed
+    seq2 = h1.ping(h2.ip)
+    ctl.run(1.0)
+    assert h1.reachable(seq2)
+    assert router.paths_installed == paths_before  # flow already in hardware
+
+
+def test_app_stop_ceases_processing():
+    ctl, topod, router = _stack(build_linear(2))
+    ctl.run(1.0)
+    router.stop()
+    before = router.paths_installed + router.floods
+    h1, h2 = ctl.net.hosts["h1"], ctl.net.hosts["h2"]
+    h1.ping(h2.ip)
+    ctl.run(2.0)
+    assert router.paths_installed + router.floods == before
+    topod.stop()

@@ -1,0 +1,47 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import YancController
+from repro.sim import Simulator
+from repro.vfs.syscalls import Syscalls
+from repro.vfs.vfs import VirtualFileSystem
+from repro.yancfs.client import YancClient, mount_yancfs
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def vfs(sim: Simulator) -> VirtualFileSystem:
+    return VirtualFileSystem(clock=lambda: sim.now)
+
+
+@pytest.fixture
+def sc(vfs: VirtualFileSystem) -> Syscalls:
+    return Syscalls(vfs)
+
+
+@pytest.fixture
+def yanc_sc(sc: Syscalls) -> Syscalls:
+    """A root process with a fresh yancfs mounted at /net."""
+    mount_yancfs(sc)
+    return sc
+
+
+@pytest.fixture
+def yc(yanc_sc: Syscalls) -> YancClient:
+    return YancClient(yanc_sc)
+
+
+@pytest.fixture
+def linear_controller() -> YancController:
+    """A started controller over a 3-switch line (1 host per switch)."""
+    from repro.dataplane.topology import build_linear
+
+    net = build_linear(3, hosts_per_switch=1)
+    return YancController(net).start()

@@ -1,0 +1,118 @@
+"""Actions: header rewrites and the yanc file representation."""
+
+import pytest
+
+from repro.dataplane import (
+    FLOOD,
+    Output,
+    SetDlDst,
+    SetDlSrc,
+    SetNwDst,
+    SetNwSrc,
+    SetTpDst,
+    SetTpSrc,
+    SetVlan,
+    StripVlan,
+    parse_action,
+)
+from repro.netpkt import ETH_TYPE_IPV4, Ethernet, IPv4, MacAddress, Tcp, ip, parse_frame
+from repro.netpkt.packet import build_frame
+
+MAC_A = MacAddress("02:00:00:00:00:01")
+MAC_B = MacAddress("02:00:00:00:00:02")
+
+
+def _frame():
+    raw = build_frame(
+        Ethernet(dst=MAC_B, src=MAC_A, eth_type=ETH_TYPE_IPV4),
+        IPv4(src=ip("10.0.0.1"), dst=ip("10.0.0.2"), proto=6),
+        Tcp(src_port=1000, dst_port=22),
+    )
+    return parse_frame(raw)
+
+
+def test_set_dl_rewrites():
+    frame = _frame()
+    SetDlSrc(MacAddress(0xAA)).apply(frame)
+    SetDlDst(MacAddress(0xBB)).apply(frame)
+    reparsed = parse_frame(frame.repack())
+    assert int(reparsed.eth.src) == 0xAA
+    assert int(reparsed.eth.dst) == 0xBB
+
+
+def test_set_nw_rewrites_and_checksum_stays_valid():
+    frame = _frame()
+    SetNwSrc(ip("1.2.3.4")).apply(frame)
+    SetNwDst(ip("5.6.7.8")).apply(frame)
+    reparsed = parse_frame(frame.repack())
+    assert reparsed.key.nw_src == ip("1.2.3.4")
+    assert reparsed.key.nw_dst == ip("5.6.7.8")
+
+
+def test_set_tp_rewrites():
+    frame = _frame()
+    SetTpSrc(1111).apply(frame)
+    SetTpDst(2222).apply(frame)
+    key = parse_frame(frame.repack()).key
+    assert (key.tp_src, key.tp_dst) == (1111, 2222)
+
+
+def test_set_nw_noop_on_arp():
+    from repro.netpkt import ETH_TYPE_ARP, Arp
+
+    raw = build_frame(
+        Ethernet(dst=MAC_B, src=MAC_A, eth_type=ETH_TYPE_ARP),
+        Arp.request(MAC_A, ip("10.0.0.1"), ip("10.0.0.2")),
+    )
+    frame = parse_frame(raw)
+    SetNwDst(ip("9.9.9.9")).apply(frame)  # must not blow up / corrupt
+    assert parse_frame(frame.repack()).key.nw_dst == ip("10.0.0.2")
+
+
+def test_vlan_set_and_strip():
+    frame = _frame()
+    SetVlan(123).apply(frame)
+    tagged = parse_frame(frame.repack())
+    assert tagged.key.dl_vlan == 123
+    StripVlan().apply(tagged)
+    untagged = parse_frame(tagged.repack())
+    assert untagged.key.dl_vlan is None
+
+
+def test_set_vlan_preserves_pcp():
+    frame = _frame()
+    from repro.netpkt.ethernet import Vlan
+
+    frame.eth.vlan = Vlan(vid=1, pcp=5)
+    SetVlan(99).apply(frame)
+    assert frame.eth.vlan.vid == 99 and frame.eth.vlan.pcp == 5
+
+
+def test_action_file_roundtrip_all_kinds():
+    actions = [
+        Output(3),
+        Output(FLOOD),
+        SetDlSrc(MAC_A),
+        SetDlDst(MAC_B),
+        SetNwSrc(ip("1.1.1.1")),
+        SetNwDst(ip("2.2.2.2")),
+        SetTpSrc(10),
+        SetTpDst(20),
+        SetVlan(77),
+        StripVlan(),
+    ]
+    for action in actions:
+        filename, content = action.to_file()
+        assert parse_action(filename, content) == action
+
+
+def test_output_reserved_port_names():
+    assert Output(FLOOD).to_file() == ("action.out", "flood")
+    assert parse_action("action.out", "controller").port == 0xFFFD
+
+
+def test_parse_action_rejects_unknown():
+    with pytest.raises(ValueError):
+        parse_action("action.teleport", "1")
+    with pytest.raises(ValueError):
+        parse_action("priority", "1")

@@ -1,0 +1,160 @@
+"""Flow table: priorities, timeouts, modify/delete, counters."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dataplane import FlowEntry, FlowRemovedReason, FlowTable, Match, Output
+from repro.netpkt import MacAddress, ip
+from repro.netpkt.packet import FlowKey
+
+KEY = FlowKey(
+    dl_src=MacAddress(1),
+    dl_dst=MacAddress(2),
+    dl_type=0x0800,
+    nw_src=ip("10.0.0.1"),
+    nw_dst=ip("10.0.0.2"),
+    nw_proto=6,
+    nw_tos=0,
+    tp_src=1,
+    tp_dst=22,
+)
+
+
+def _entry(priority=100, match=None, port=1, **kwargs) -> FlowEntry:
+    return FlowEntry(match=match or Match(), actions=[Output(port)], priority=priority, **kwargs)
+
+
+def test_lookup_highest_priority_wins():
+    table = FlowTable()
+    low = table.install(_entry(priority=10, port=1))
+    high = table.install(_entry(priority=20, port=2))
+    assert table.lookup(KEY, 1) is high
+    table.remove_entry(high)
+    assert table.lookup(KEY, 1) is low
+
+
+def test_priority_tie_breaks_to_oldest():
+    table = FlowTable()
+    first = table.install(_entry(priority=10, port=1))
+    table.install(_entry(priority=10, match=Match(dl_type=0x0800), port=2))
+    assert table.lookup(KEY, 1) is first
+
+
+def test_no_match_returns_none():
+    table = FlowTable()
+    table.install(_entry(match=Match(tp_dst=80)))
+    assert table.lookup(KEY, 1) is None
+
+
+def test_install_replaces_same_match_priority():
+    table = FlowTable()
+    table.install(_entry(priority=5, match=Match(tp_dst=22), port=1))
+    table.install(_entry(priority=5, match=Match(tp_dst=22), port=9))
+    assert len(table) == 1
+    entry = table.lookup(KEY, 1)
+    assert entry is not None and entry.actions == [Output(9)]
+
+
+def test_install_no_replace_keeps_both():
+    table = FlowTable()
+    table.install(_entry(priority=5, match=Match(tp_dst=22)))
+    table.install(_entry(priority=5, match=Match(tp_dst=22)), replace=False)
+    assert len(table) == 2
+
+
+def test_hit_updates_counters():
+    table = FlowTable()
+    entry = table.install(_entry())
+    entry.hit(now=1.0, nbytes=100)
+    entry.hit(now=2.0, nbytes=50)
+    assert entry.packet_count == 2
+    assert entry.byte_count == 150
+    assert entry.last_hit == 2.0
+
+
+def test_idle_timeout_expiry():
+    table = FlowTable()
+    entry = table.install(_entry(idle_timeout=5.0), now=0.0)
+    assert table.expire(4.0) == []
+    expired = table.expire(5.0)
+    assert expired == [(entry, FlowRemovedReason.IDLE_TIMEOUT)]
+    assert len(table) == 0
+
+
+def test_idle_timeout_reset_by_traffic():
+    table = FlowTable()
+    entry = table.install(_entry(idle_timeout=5.0), now=0.0)
+    entry.hit(now=4.0, nbytes=1)
+    assert table.expire(8.0) == []
+    assert table.expire(9.0) != []
+
+
+def test_hard_timeout_ignores_traffic():
+    table = FlowTable()
+    entry = table.install(_entry(hard_timeout=5.0), now=0.0)
+    entry.hit(now=4.9, nbytes=1)
+    assert table.expire(5.0) == [(entry, FlowRemovedReason.HARD_TIMEOUT)]
+
+
+def test_zero_timeouts_never_expire():
+    table = FlowTable()
+    table.install(_entry(), now=0.0)
+    assert table.expire(1e9) == []
+
+
+def test_delete_nonstrict_subset_semantics():
+    table = FlowTable()
+    table.install(_entry(match=Match(dl_type=0x0800, tp_dst=22), priority=1))
+    table.install(_entry(match=Match(dl_type=0x0800, tp_dst=80), priority=2))
+    table.install(_entry(match=Match(dl_type=0x0806), priority=3))
+    removed = table.delete(Match(dl_type=0x0800))
+    assert len(removed) == 2
+    assert len(table) == 1
+
+
+def test_delete_strict_requires_exact_match_and_priority():
+    table = FlowTable()
+    table.install(_entry(match=Match(tp_dst=22), priority=7))
+    assert table.delete(Match(tp_dst=22), strict=True, priority=8) == []
+    assert len(table.delete(Match(tp_dst=22), strict=True, priority=7)) == 1
+
+
+def test_modify_rewrites_actions():
+    table = FlowTable()
+    table.install(_entry(match=Match(tp_dst=22), priority=7, port=1))
+    changed = table.modify(Match(), [Output(42)])
+    assert changed == 1
+    entry = table.lookup(KEY, 1)
+    assert entry is not None and entry.actions == [Output(42)]
+
+
+def test_aggregate_stats():
+    table = FlowTable()
+    a = table.install(_entry(match=Match(tp_dst=22)))
+    a.hit(0.0, 100)
+    table.install(_entry(match=Match(tp_dst=80), priority=5))
+    table.lookup(KEY, 1)
+    stats = table.aggregate_stats()
+    assert stats["flow_count"] == 2
+    assert stats["packet_count"] == 1
+    assert stats["byte_count"] == 100
+    assert stats["lookup_count"] == 1
+    assert stats["matched_count"] == 1
+
+
+def test_entries_sorted_by_priority():
+    table = FlowTable()
+    table.install(_entry(priority=1))
+    table.install(_entry(priority=9, match=Match(tp_dst=22)))
+    priorities = [e.priority for e in table.entries()]
+    assert priorities == [9, 1]
+
+
+@given(st.lists(st.integers(min_value=0, max_value=0xFFFF), min_size=1, max_size=20))
+def test_lookup_always_returns_max_priority_match(priorities):
+    """Against a brute-force model: winner is max priority, oldest first."""
+    table = FlowTable()
+    entries = [table.install(_entry(priority=p, match=Match(), port=i), replace=False) for i, p in enumerate(priorities)]
+    winner = table.lookup(KEY, 1)
+    best = max(entries, key=lambda e: (e.priority, -e.entry_id))
+    assert winner is best

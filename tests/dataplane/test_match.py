@@ -1,0 +1,131 @@
+"""Match semantics: wildcards, CIDR, subset relation, file round-trip."""
+
+from ipaddress import IPv4Network
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dataplane import Match
+from repro.netpkt import MacAddress, cidr, ip
+from repro.netpkt.packet import FlowKey
+
+MAC_A = MacAddress("02:00:00:00:00:01")
+MAC_B = MacAddress("02:00:00:00:00:02")
+
+
+def _key(**overrides) -> FlowKey:
+    base = dict(
+        dl_src=MAC_A,
+        dl_dst=MAC_B,
+        dl_type=0x0800,
+        nw_src=ip("10.0.1.5"),
+        nw_dst=ip("10.0.2.9"),
+        nw_proto=6,
+        nw_tos=0,
+        tp_src=4000,
+        tp_dst=22,
+    )
+    base.update(overrides)
+    return FlowKey(**base)
+
+
+def test_empty_match_matches_everything():
+    assert Match().matches(_key(), in_port=1)
+
+
+def test_exact_field_match_and_mismatch():
+    match = Match(dl_type=0x0800, tp_dst=22)
+    assert match.matches(_key(), 1)
+    assert not match.matches(_key(tp_dst=80), 1)
+
+
+def test_in_port_match():
+    match = Match(in_port=3)
+    assert match.matches(_key(), 3)
+    assert not match.matches(_key(), 4)
+
+
+def test_cidr_prefix_match():
+    match = Match(nw_src=cidr("10.0.0.0/16"))
+    assert match.matches(_key(), 1)
+    assert not match.matches(_key(nw_src=ip("10.1.0.1")), 1)
+
+
+def test_cidr_requires_ip_field_present():
+    match = Match(nw_dst=cidr("10.0.0.0/8"))
+    assert not match.matches(_key(nw_dst=None), 1)
+
+
+def test_exact_from_key_includes_all_fields():
+    match = Match.exact(_key(), in_port=2)
+    assert match.matches(_key(), 2)
+    assert not match.matches(_key(tp_src=4001), 2)
+    assert not match.matches(_key(), 3)
+
+
+def test_subset_relation_wildcards():
+    narrow = Match(dl_type=0x0800, nw_proto=6, tp_dst=22)
+    broad = Match(dl_type=0x0800)
+    assert narrow.is_subset_of(broad)
+    assert not broad.is_subset_of(narrow)
+    assert narrow.is_subset_of(Match())
+
+
+def test_subset_relation_cidr():
+    narrow = Match(nw_dst=cidr("10.0.1.0/24"))
+    broad = Match(nw_dst=cidr("10.0.0.0/16"))
+    assert narrow.is_subset_of(broad)
+    assert not broad.is_subset_of(narrow)
+
+
+def test_to_files_and_back():
+    match = Match(dl_type=0x0800, nw_dst=cidr("10.0.0.0/24"), nw_proto=6, tp_dst=22, dl_src=MAC_A)
+    files = match.to_files()
+    assert files["match.tp_dst"] == "22"
+    assert files["match.nw_dst"] == "10.0.0.0/24"
+    assert Match.from_files(files) == match
+
+
+def test_from_files_ignores_non_match_entries():
+    match = Match.from_files({"match.dl_type": "0x800", "priority": "5", "action.out": "2"})
+    assert match == Match(dl_type=0x0800)
+
+
+def test_from_files_unknown_field_rejected():
+    with pytest.raises(ValueError):
+        Match.from_files({"match.bogus": "1"})
+
+
+def test_str_rendering():
+    assert str(Match()) == "Match(*)"
+    assert "tp_dst=22" in str(Match(tp_dst=22))
+
+
+@given(
+    prefix_len=st.integers(min_value=0, max_value=32),
+    addr=st.integers(min_value=0, max_value=2**32 - 1),
+)
+def test_cidr_match_agrees_with_ipaddress(prefix_len, addr):
+    network = IPv4Network((addr & (2**32 - 2 ** (32 - prefix_len)) if prefix_len else 0, prefix_len))
+    match = Match(nw_src=network)
+    probe = _key(nw_src=ip(addr))
+    assert match.matches(probe, 1) == (probe.nw_src in network)
+
+
+@given(st.data())
+def test_subset_implies_match_implication(data):
+    """If A ⊆ B then any key matching A matches B (spot-checked)."""
+    fields = {}
+    if data.draw(st.booleans()):
+        fields["dl_type"] = 0x0800
+    if data.draw(st.booleans()):
+        fields["nw_proto"] = 6
+    if data.draw(st.booleans()):
+        fields["tp_dst"] = 22
+    narrow = Match(dl_type=0x0800, nw_proto=6, tp_dst=22)
+    broad = Match(**fields)
+    assert narrow.is_subset_of(broad)
+    key = _key()
+    if narrow.matches(key, 1):
+        assert broad.matches(key, 1)

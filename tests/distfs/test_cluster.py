@@ -1,0 +1,92 @@
+"""The distributed controller cluster (paper section 6)."""
+
+import pytest
+
+from repro.dataplane import Match, Output, build_linear
+from repro.distfs import ControllerCluster
+from repro.runtime import YancController
+
+
+@pytest.fixture
+def rig():
+    ctl = YancController(build_linear(2)).start()
+    cluster = ControllerCluster(ctl.host, consistency="cached", cache_ttl=0.2)
+    return ctl, cluster
+
+
+def test_worker_sees_master_tree(rig):
+    ctl, cluster = rig
+    worker = cluster.add_worker()
+    assert worker.sc.listdir("/net/switches") == ["sw1", "sw2"]
+
+
+def test_worker_flow_reaches_hardware(rig):
+    ctl, cluster = rig
+    worker = cluster.add_worker()
+    worker.client.create_flow("sw1", "remote", Match(dl_type=0x806), [Output(1)], priority=3)
+    ctl.run(0.3)
+    assert len(ctl.net.switches["sw1"].table) == 1
+    assert "remote" in ctl.client().flows("sw1")
+
+
+def test_two_workers_see_each_other_after_ttl(rig):
+    ctl, cluster = rig
+    w1 = cluster.add_worker()
+    w2 = cluster.add_worker()
+    w2.client.flows("sw1")  # warm w2's cache
+    w1.client.create_flow("sw1", "by-w1", Match(dl_vlan=3), [Output(1)], priority=3)
+    ctl.run(0.5)  # beyond w2's cache ttl
+    assert "by-w1" in w2.client.flows("sw1")
+
+
+def test_makespan_scales_down_with_workers(rig):
+    ctl, cluster = rig
+
+    def work(worker, item):
+        worker.client.create_flow("sw2", f"j{item}", Match(dl_vlan=item), [Output(1)], priority=3)
+
+    items = list(range(24))
+    cluster.add_worker()
+    span1 = cluster.map_items(items[:12], work, compute_cost=1e-3)
+    cluster.add_worker()
+    cluster.add_worker()
+    cluster.add_worker()
+    span4 = cluster.map_items(items[12:], work, compute_cost=1e-3)
+    # 4 machines do 12 items much faster than 1 machine did 12 items
+    assert span4 < span1 / 2
+
+
+def test_makespan_accounts_rpc_and_compute(rig):
+    ctl, cluster = rig
+    worker = cluster.add_worker()
+    span = cluster.map_items([1, 2], lambda w, i: None, compute_cost=0.5)
+    assert span == pytest.approx(1.0)
+    assert worker.items_done == 2
+
+
+def test_map_items_without_workers_rejected(rig):
+    _ctl, cluster = rig
+    with pytest.raises(RuntimeError):
+        cluster.map_items([1], lambda w, i: None)
+
+
+def test_flush_all_in_eventual_mode():
+    ctl = YancController(build_linear(2)).start()
+    cluster = ControllerCluster(ctl.host, consistency="eventual")
+    worker = cluster.add_worker()
+    worker.client.create_flow("sw1", "lazy", Match(dl_vlan=9), [Output(1)], priority=3, commit=False)
+    assert "lazy" in ctl.client().flows("sw1")  # mkdir is synchronous
+    files_before = ctl.host.root_sc.listdir("/net/switches/sw1/flows/lazy")
+    assert "match.dl_vlan" not in files_before  # content writes buffered
+    flushed = cluster.flush_all()
+    assert flushed >= 1
+    assert "match.dl_vlan" in ctl.host.root_sc.listdir("/net/switches/sw1/flows/lazy")
+
+
+def test_workers_have_independent_rpc_accounting(rig):
+    _ctl, cluster = rig
+    w1 = cluster.add_worker()
+    w2 = cluster.add_worker()
+    w1.client.flows("sw1")
+    assert w1.channel.calls > 0
+    assert w2.channel.calls == 0

@@ -1,0 +1,201 @@
+"""The remote file system: RPC, proxies, consistency modes."""
+
+import pytest
+
+from repro.distfs import FileServer, RemoteFs, RpcChannel
+from repro.sim import Simulator
+from repro.vfs import (
+    FileNotFound,
+    InvalidArgument,
+    Syscalls,
+    TimedOut,
+    VirtualFileSystem,
+)
+
+
+def _make_pair(consistency="strict", cache_ttl=0.5):
+    """A server VFS exporting /export and a client mounting it at /mnt."""
+    sim = Simulator()
+    server_vfs = VirtualFileSystem(clock=lambda: sim.now)
+    server_sc = Syscalls(server_vfs)
+    server_sc.makedirs("/export/docs")
+    server_sc.write_text("/export/hello", "from the server")
+    server = FileServer(server_sc, "/export")
+    client_vfs = VirtualFileSystem(clock=lambda: sim.now)
+    client_sc = Syscalls(client_vfs)
+    channel = RpcChannel(server.handle, counters=client_vfs.counters)
+    fs = RemoteFs(channel, consistency=consistency, cache_ttl=cache_ttl, clock=lambda: sim.now)
+    client_sc.mkdir("/mnt")
+    client_sc.mount("/mnt", fs)
+    return sim, server_sc, client_sc, fs, channel
+
+
+def test_read_remote_file():
+    _sim, _server, client, _fs, _ch = _make_pair()
+    assert client.read_text("/mnt/hello") == "from the server"
+
+
+def test_listdir_remote():
+    _sim, _server, client, _fs, _ch = _make_pair()
+    assert sorted(client.listdir("/mnt")) == ["docs", "hello"]
+
+
+def test_write_is_visible_on_server():
+    _sim, server, client, _fs, _ch = _make_pair()
+    client.write_text("/mnt/new", "written remotely")
+    assert server.read_text("/export/new") == "written remotely"
+
+
+def test_mkdir_rmdir_remote():
+    _sim, server, client, _fs, _ch = _make_pair()
+    client.mkdir("/mnt/made")
+    assert server.stat("/export/made").is_dir
+    client.rmdir("/mnt/made")
+    assert not server.exists("/export/made")
+
+
+def test_unlink_remote():
+    _sim, server, client, _fs, _ch = _make_pair()
+    client.unlink("/mnt/hello")
+    assert not server.exists("/export/hello")
+
+
+def test_rename_remote_single_rpc_rename():
+    _sim, server, client, _fs, channel = _make_pair()
+    client.rename("/mnt/hello", "/mnt/docs/renamed")
+    assert server.read_text("/export/docs/renamed") == "from the server"
+    assert channel.counters.get("distfs.rpc.rename") == 1
+
+
+def test_symlink_remote():
+    _sim, server, client, _fs, _ch = _make_pair()
+    client.symlink("/mnt/hello", "/mnt/link")
+    assert server.readlink("/export/link") == "/mnt/hello"
+    assert client.readlink("/mnt/link") == "/mnt/hello"
+
+
+def test_stat_remote_attrs():
+    _sim, server, client, _fs, _ch = _make_pair()
+    server.chmod("/export/hello", 0o640)
+    server.chown("/export/hello", 7, 8)
+    st = client.stat("/mnt/hello")
+    assert (st.mode, st.uid, st.gid) == (0o640, 7, 8)
+    assert st.size == len("from the server")
+
+
+def test_missing_remote_file():
+    _sim, _server, client, _fs, _ch = _make_pair()
+    with pytest.raises(FileNotFound):
+        client.read_text("/mnt/nope")
+
+
+def test_server_rejects_escape():
+    _sim, _server, _client, _fs, channel = _make_pair()
+    with pytest.raises(InvalidArgument):
+        channel.call("read", "../outside")
+
+
+def test_strict_mode_sees_server_changes_immediately():
+    sim, server, client, _fs, _ch = _make_pair(consistency="strict")
+    assert client.read_text("/mnt/hello") == "from the server"
+    server.write_text("/export/hello", "v2")
+    sim.run_for(0.01)
+    assert client.read_text("/mnt/hello") == "v2"
+
+
+def test_cached_mode_serves_stale_until_ttl():
+    sim, server, client, _fs, _ch = _make_pair(consistency="cached", cache_ttl=1.0)
+    assert client.read_text("/mnt/hello") == "from the server"
+    server.write_text("/export/hello", "v2")
+    sim.run_for(0.2)
+    assert client.read_text("/mnt/hello") == "from the server"  # stale
+    sim.run_for(1.0)  # past the TTL
+    assert client.read_text("/mnt/hello") == "v2"
+
+
+def test_cached_mode_fewer_rpcs():
+    sim, _server, client, _fs, channel = _make_pair(consistency="cached", cache_ttl=10.0)
+    client.read_text("/mnt/hello")
+    calls_after_first = channel.calls
+    for _ in range(10):
+        client.read_text("/mnt/hello")
+    assert channel.calls == calls_after_first  # all served from cache
+
+
+def test_strict_mode_rpc_per_read():
+    _sim, _server, client, _fs, channel = _make_pair(consistency="strict")
+    client.read_text("/mnt/hello")
+    first = channel.calls
+    client.read_text("/mnt/hello")
+    assert channel.calls > first
+
+
+def test_eventual_mode_write_behind():
+    _sim, server, client, fs, channel = _make_pair(consistency="eventual")
+    client.write_text("/mnt/lazy", "pending")
+    assert not server.exists("/export/lazy")  # not yet flushed
+    write_rpcs = channel.counters.get("distfs.rpc.write")
+    assert write_rpcs == 0
+    assert fs.flush() == 1
+    assert server.read_text("/export/lazy") == "pending"
+
+
+def test_eventual_mode_local_read_your_writes():
+    _sim, _server, client, _fs, _ch = _make_pair(consistency="eventual")
+    client.write_text("/mnt/lazy", "pending")
+    assert client.read_text("/mnt/lazy") == "pending"
+
+
+def test_eventual_flush_coalesces_rewrites():
+    _sim, server, client, fs, channel = _make_pair(consistency="eventual")
+    for version in range(5):
+        client.write_text("/mnt/lazy", f"v{version}")
+    assert fs.flush() == 1  # one file, one RPC
+    assert server.read_text("/export/lazy") == "v4"
+    assert channel.counters.get("distfs.rpc.write") == 1
+
+
+def test_channel_close_times_out():
+    _sim, _server, client, _fs, channel = _make_pair()
+    channel.close()
+    with pytest.raises(TimedOut):
+        client.read_text("/mnt/hello")
+
+
+def test_rpc_accounting():
+    _sim, _server, client, _fs, channel = _make_pair()
+    client.read_text("/mnt/hello")
+    assert channel.calls > 0
+    assert channel.time_spent >= channel.calls * 2 * channel.latency
+    assert channel.bytes_moved > 0
+
+
+def test_invalidate_forces_refetch():
+    sim, server, client, fs, _ch = _make_pair(consistency="cached", cache_ttl=100.0)
+    assert client.read_text("/mnt/hello") == "from the server"
+    server.write_text("/export/hello", "fresh")
+    sim.run_for(0.01)
+    fs.invalidate()
+    assert client.read_text("/mnt/hello") == "fresh"
+
+
+def test_server_side_validation_propagates():
+    """yancfs semantics apply server-side, errors surface on the client."""
+    sim = Simulator()
+    server_vfs = VirtualFileSystem(clock=lambda: sim.now)
+    server_sc = Syscalls(server_vfs)
+    from repro.yancfs import mount_yancfs
+
+    mount_yancfs(server_sc)
+    server = FileServer(server_sc, "/net")
+    client_vfs = VirtualFileSystem(clock=lambda: sim.now)
+    client_sc = Syscalls(client_vfs)
+    fs = RemoteFs(RpcChannel(server.handle), clock=lambda: sim.now)
+    client_sc.mkdir("/net")
+    client_sc.mount("/net", fs)
+    client_sc.mkdir("/net/switches/sw1")
+    # semantic mkdir happened on the server
+    assert "flows" in client_sc.listdir("/net/switches/sw1")
+    client_sc.mkdir("/net/switches/sw1/flows/f")
+    with pytest.raises(InvalidArgument):
+        client_sc.write_text("/net/switches/sw1/flows/f/priority", "garbage")

@@ -1,0 +1,109 @@
+"""Property-based remote-FS testing: client and server must agree.
+
+With a strict mount, every client observation must equal the server's
+ground truth at all times, regardless of which side mutated last.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.distfs import FileServer, RemoteFs, RpcChannel
+from repro.sim import Simulator
+from repro.vfs import FsError, Syscalls, VirtualFileSystem
+
+_NAMES = st.sampled_from(["a", "b", "sub", "data.txt"])
+_CONTENT = st.sampled_from([b"", b"x", b"hello", b"\x00\x01\x02"])
+
+
+def _tree(sc: Syscalls, root: str) -> dict[str, bytes | None]:
+    out: dict[str, bytes | None] = {}
+    for dirpath, dirnames, filenames in sc.walk(root):
+        rel = dirpath[len(root) :] or "/"
+        for name in dirnames:
+            out[f"{rel.rstrip('/')}/{name}"] = None
+        for name in filenames:
+            out[f"{rel.rstrip('/')}/{name}"] = sc.read_bytes(f"{dirpath}/{name}")
+    return out
+
+
+class RemoteFsMachine(RuleBasedStateMachine):
+    def __init__(self) -> None:
+        super().__init__()
+        self.sim = Simulator()
+        server_vfs = VirtualFileSystem(clock=lambda: self.sim.now)
+        self.server_sc = Syscalls(server_vfs)
+        self.server_sc.mkdir("/export")
+        server = FileServer(self.server_sc, "/export")
+        client_vfs = VirtualFileSystem(clock=lambda: self.sim.now)
+        self.client_sc = Syscalls(client_vfs)
+        fs = RemoteFs(RpcChannel(server.handle), consistency="strict", clock=lambda: self.sim.now)
+        self.client_sc.mkdir("/mnt")
+        self.client_sc.mount("/mnt", fs)
+
+    def _server_dirs(self) -> list[str]:
+        return ["/"] + [p for p, v in _tree(self.server_sc, "/export").items() if v is None]
+
+    def _abs(self, side: str, rel: str) -> str:
+        base = "/export" if side == "server" else "/mnt"
+        return base + (rel if rel != "/" else "")
+
+    @rule(data=st.data(), side=st.sampled_from(["server", "client"]), name=_NAMES)
+    def mkdir(self, data, side, name):
+        parent = data.draw(st.sampled_from(self._server_dirs()))
+        sc = self.server_sc if side == "server" else self.client_sc
+        try:
+            sc.mkdir(f"{self._abs(side, parent).rstrip('/')}/{name}")
+        except FsError:
+            pass
+
+    @rule(data=st.data(), side=st.sampled_from(["server", "client"]), name=_NAMES, content=_CONTENT)
+    def write(self, data, side, name, content):
+        parent = data.draw(st.sampled_from(self._server_dirs()))
+        sc = self.server_sc if side == "server" else self.client_sc
+        try:
+            sc.write_bytes(f"{self._abs(side, parent).rstrip('/')}/{name}", content)
+        except FsError:
+            pass
+
+    @rule(data=st.data(), side=st.sampled_from(["server", "client"]))
+    def remove(self, data, side):
+        tree = _tree(self.server_sc, "/export")
+        if not tree:
+            return
+        rel = data.draw(st.sampled_from(sorted(tree)))
+        sc = self.server_sc if side == "server" else self.client_sc
+        path = self._abs(side, rel)
+        try:
+            if tree[rel] is None:
+                sc.rmdir(path)
+            else:
+                sc.unlink(path)
+        except FsError:
+            pass
+
+    @rule(data=st.data(), new_name=st.sampled_from(["renamed", "moved"]))
+    def client_rename(self, data, new_name):
+        tree = _tree(self.server_sc, "/export")
+        if not tree:
+            return
+        source = data.draw(st.sampled_from(sorted(tree)))
+        parent = data.draw(st.sampled_from(self._server_dirs()))
+        try:
+            self.client_sc.rename(
+                self._abs("client", source),
+                f"{self._abs('client', parent).rstrip('/')}/{new_name}",
+            )
+        except FsError:
+            pass
+
+    @invariant()
+    def client_sees_server_truth(self):
+        assert _tree(self.client_sc, "/mnt") == _tree(self.server_sc, "/export")
+
+
+RemoteFsTest = RemoteFsMachine.TestCase
+RemoteFsTest.settings = settings(max_examples=25, stateful_step_count=20, deadline=None)

@@ -1,0 +1,101 @@
+"""FileServer operations exercised directly (RPC surface completeness)."""
+
+import pytest
+
+from repro.distfs import FileServer, RpcChannel
+from repro.vfs import FileNotFound, InvalidArgument, Syscalls, VirtualFileSystem
+
+
+@pytest.fixture
+def server():
+    sc = Syscalls(VirtualFileSystem())
+    sc.makedirs("/export/docs")
+    sc.write_text("/export/file", "content")
+    sc.symlink("/export/file", "/export/link")
+    return FileServer(sc, "/export"), sc
+
+
+def test_op_stat(server):
+    srv, _sc = server
+    ftype, mode, uid, gid, size = srv.handle("stat", ("file",))
+    assert ftype == "file" and size == 7
+
+
+def test_op_append(server):
+    srv, sc = server
+    srv.handle("append", ("file", b"+more"))
+    assert sc.read_text("/export/file") == "content+more"
+
+
+def test_op_truncate(server):
+    srv, sc = server
+    srv.handle("truncate", ("file", 3))
+    assert sc.read_text("/export/file") == "con"
+
+
+def test_op_readlink(server):
+    srv, _sc = server
+    assert srv.handle("readlink", ("link",)) == "/export/file"
+
+
+def test_op_create_and_unlink(server):
+    srv, sc = server
+    srv.handle("create", ("fresh",))
+    assert sc.read_text("/export/fresh") == ""
+    srv.handle("unlink", ("fresh",))
+    assert not sc.exists("/export/fresh")
+
+
+def test_op_rename(server):
+    srv, sc = server
+    srv.handle("rename", ("file", "docs/moved"))
+    assert sc.read_text("/export/docs/moved") == "content"
+
+
+def test_unknown_op_rejected(server):
+    srv, _sc = server
+    with pytest.raises(InvalidArgument):
+        srv.handle("format_disk", ())
+
+
+def test_dotdot_escape_rejected_everywhere(server):
+    srv, _sc = server
+    for op, args in (
+        ("read", ("../secret",)),
+        ("write", ("../secret", b"x")),
+        ("mkdir", ("../dir",)),
+        ("rename", ("file", "../out")),
+    ):
+        with pytest.raises(InvalidArgument):
+            srv.handle(op, args)
+
+
+def test_missing_path_propagates(server):
+    srv, _sc = server
+    with pytest.raises(FileNotFound):
+        srv.handle("read", ("ghost",))
+
+
+def test_root_of_export_listable(server):
+    srv, _sc = server
+    names = [entry[0] for entry in srv.handle("readdir", ("",))]
+    assert sorted(names) == ["docs", "file", "link"]
+
+
+def test_busy_time_accrues(server):
+    srv, _sc = server
+    srv.handle("stat", ("file",))
+    srv.handle("stat", ("file",))
+    assert srv.busy_time == pytest.approx(2 * srv.service_time)
+    assert srv.ops_served == 2
+
+
+def test_rpc_channel_bytes_accounting():
+    srv_sc = Syscalls(VirtualFileSystem())
+    srv_sc.mkdir("/export")
+    srv_sc.write_text("/export/big", "x" * 1000)
+    channel = RpcChannel(FileServer(srv_sc, "/export").handle, latency=1e-3, bandwidth=1e6)
+    data = channel.call("read", "big")
+    assert len(data) == 1000
+    # time = 2*latency + bytes/bandwidth
+    assert channel.time_spent == pytest.approx(2e-3 + (1000 + len("big")) / 1e6)

@@ -1,0 +1,78 @@
+"""Driver-agent version negotiation corners and fleet-scale operation."""
+
+import pytest
+
+from repro.dataplane import Match, Network, Output
+from repro.drivers import OF10_VERSION, OF13_VERSION, OpenFlowDriver
+from repro.runtime import ControllerHost, YancController
+from repro.sim import Simulator
+
+
+def test_of13_driver_and_agent_settle_on_of13():
+    sim = Simulator()
+    net = Network(sim)
+    switch = net.add_switch("s")
+    switch.add_port(1)
+    host = ControllerHost(sim)
+    driver = OpenFlowDriver(host.process(), sim, version=OF13_VERSION)
+    binding = driver.attach_switch(switch)
+    sim.run_for(0.1)
+    assert binding.version == OF13_VERSION
+    assert binding.agent.version == OF13_VERSION
+    # the session really speaks 1.3 bytes: a flow push works end to end
+    yc = host.client()
+    yc.create_flow(binding.fs_name, "f", Match(dl_type=0x800), [Output(1)], priority=3)
+    sim.run_for(0.2)
+    assert len(switch.table) == 1
+
+
+def test_of10_driver_with_of13_agent_settles_on_of10():
+    sim = Simulator()
+    net = Network(sim)
+    switch = net.add_switch("s")
+    host = ControllerHost(sim)
+    driver = OpenFlowDriver(host.process(), sim, version=OF10_VERSION)
+    binding = driver.attach_switch(switch)
+    sim.run_for(0.1)
+    assert binding.version == OF10_VERSION
+    assert binding.agent.version == OF10_VERSION
+
+
+def test_fifty_switch_fleet_bulk_program():
+    """Scale check: one driver, 50 switches, 5 flows each."""
+    net_sim = Simulator()
+    net = Network(net_sim)
+    for _ in range(50):
+        switch = net.add_switch()
+        switch.add_port(1)
+    ctl = YancController(net)
+    ctl.start()
+    yc = ctl.client()
+    assert len(yc.switches()) == 50
+    for name in yc.switches():
+        for index in range(5):
+            yc.create_flow(name, f"f{index}", Match(dl_vlan=index), [Output(1)], priority=4)
+    ctl.run(0.5)
+    sizes = {sw.name: len(sw.table) for sw in net.switches.values()}
+    assert all(size == 5 for size in sizes.values()), sizes
+    assert ctl.drivers[0].flow_mods_sent == 250
+
+
+def test_two_drivers_never_share_a_switch():
+    ctl = YancController(__import__("repro.dataplane", fromlist=["build_linear"]).build_linear(2))
+    of10 = ctl.add_driver()
+    of13 = ctl.add_driver(version=OF13_VERSION)
+    switches = list(ctl.net.switches.values())
+    of10.attach_switch(switches[0])
+    of13.attach_switch(switches[1])
+    ctl.run(0.1)
+    assert set(of10.bindings) == {1}
+    assert set(of13.bindings) == {2}
+    # each binding's tree work is visible in one shared /net
+    assert ctl.client().switches() == ["sw1", "sw2"]
+
+
+def test_detach_unknown_dpid_is_noop():
+    ctl = YancController(__import__("repro.dataplane", fromlist=["build_linear"]).build_linear(1)).start()
+    ctl.drivers[0].detach_switch(999)  # must not raise
+    assert set(ctl.drivers[0].bindings) == {1}

@@ -1,0 +1,96 @@
+"""Figure 1, as a test: every architectural box, one run, cross-checked."""
+
+import pytest
+
+from repro.apps import AccountingDaemon, RouterDaemon, TopologyDaemon, run_audit
+from repro.dataplane import Match, Output, build_linear
+from repro.distfs import ControllerCluster
+from repro.drivers import OF10_VERSION, OF13_VERSION
+from repro.runtime import YancController
+from repro.vfs import Credentials
+from repro.views import Slicer, grant_view, tenant_process
+from repro.yancfs import YancClient
+
+
+@pytest.fixture(scope="module")
+def world():
+    net = build_linear(4)
+    ctl = YancController(net)
+    of10 = ctl.add_driver()
+    of13 = ctl.add_driver(version=OF13_VERSION)
+    switches = list(net.switches.values())
+    for switch in switches[:2]:
+        of10.attach_switch(switch)
+    for switch in switches[2:]:
+        of13.attach_switch(switch)
+    for switch in switches:
+        switch.start_expiry()
+    ctl.run(0.1)
+    topod = TopologyDaemon(ctl.host.process(), ctl.sim).start()
+    router = RouterDaemon(ctl.host.process(), ctl.sim).start()
+    acct = AccountingDaemon(ctl.host.process(), ctl.sim).start()
+    ctl.run(2.0)
+    slicer = Slicer(
+        ctl.host.process(), ctl.sim, view="tenant1", switches=["sw1", "sw2"],
+        headerspace=Match(dl_type=0x0800, nw_proto=17),
+    ).start()
+    ctl.run(0.2)
+    grant_view(ctl.host.root_sc, "/net/views/tenant1", 1001, 1001)
+    cluster = ControllerCluster(ctl.host)
+    worker = cluster.add_worker()
+    return dict(
+        ctl=ctl, of10=of10, of13=of13, topod=topod, router=router,
+        acct=acct, slicer=slicer, worker=worker,
+    )
+
+
+def test_mixed_version_fleet_negotiated(world):
+    versions = {b.fs_name: b.version for d in (world["of10"], world["of13"]) for b in d.bindings.values()}
+    assert versions == {"sw1": OF10_VERSION, "sw2": OF10_VERSION, "sw3": OF13_VERSION, "sw4": OF13_VERSION}
+
+
+def test_topology_spans_both_driver_versions(world):
+    from repro.apps import read_topology
+
+    ctl = world["ctl"]
+    assert read_topology(ctl.client()) == ctl.expected_topology()
+
+
+def test_ping_crosses_the_version_boundary(world):
+    ctl = world["ctl"]
+    h1, h4 = ctl.net.hosts["h1"], ctl.net.hosts["h4"]
+    seq = h1.ping(h4.ip)
+    ctl.run(3.0)
+    assert h1.reachable(seq)
+
+
+def test_tenant_app_in_namespace_programs_through_slicer(world):
+    ctl = world["ctl"]
+    tenant = tenant_process(ctl.host.vfs, "/net/views/tenant1", Credentials(uid=1001, gid=1001))
+    YancClient(tenant).create_flow("sw1", "udp_fwd", Match(nw_proto=17), [Output(1)], priority=10)
+    ctl.run(0.5)
+    assert "v_tenant1_udp_fwd" in ctl.client().flows("sw1")
+    spec = ctl.client().read_flow("sw1", "v_tenant1_udp_fwd")
+    assert spec.match.dl_type == 0x0800  # slicer filled the headerspace in
+
+
+def test_remote_worker_programs_of13_switch(world):
+    ctl = world["ctl"]
+    world["worker"].client.create_flow("sw4", "remote_rule", Match(dl_vlan=7), [Output(1)], priority=10)
+    ctl.run(0.5)
+    assert any(e.match.dl_vlan == 7 for e in ctl.net.switches["sw4"].table.entries())
+
+
+def test_accounting_saw_the_whole_fleet(world):
+    ctl = world["ctl"]
+    ctl.run(1.2)
+    records = world["acct"].records()
+    for name in ("sw1", "sw2", "sw3", "sw4"):
+        assert any(f" {name} " in line for line in records)
+
+
+def test_final_audit_is_clean(world):
+    ctl = world["ctl"]
+    report = run_audit(ctl.host.process(), clock=ctl.sim.now)
+    assert report.clean, report.findings
+    assert report.switches_checked == 4

@@ -1,0 +1,121 @@
+"""Cross-cutting behaviours that fell between the module suites."""
+
+import pytest
+
+from repro.dataplane import Match, Output, build_linear
+from repro.runtime import YancController
+from repro.shell import Shell, ShellError
+from repro.vfs import InvalidArgument
+
+
+def test_shell_redirect_into_validated_file_surfaces_error(linear_controller):
+    """echo garbage > priority must fail loudly and leave the old value."""
+    ctl = linear_controller
+    yc = ctl.client()
+    yc.create_flow("sw1", "f", Match(dl_type=0x800), [Output(1)], priority=7)
+    shell = Shell(ctl.host.root_sc)
+    with pytest.raises(ShellError):
+        shell.run("echo not-a-number > /net/switches/sw1/flows/f/priority")
+    assert shell.run("cat /net/switches/sw1/flows/f/priority") == "7"
+
+
+def test_shell_redirect_commit_drives_driver(linear_controller):
+    ctl = linear_controller
+    shell = Shell(ctl.host.root_sc)
+    shell.run("mkdir /net/switches/sw1/flows/byhand")
+    shell.run("echo 0x806 > /net/switches/sw1/flows/byhand/match.dl_type")
+    shell.run("echo flood > /net/switches/sw1/flows/byhand/action.out")
+    shell.run("echo 1 > /net/switches/sw1/flows/byhand/version")
+    ctl.run(0.2)
+    assert len(ctl.net.switches["sw1"].table) == 1
+
+
+def test_host_attribute_validation(yanc_sc, yc):
+    yc.create_host("h1")
+    with pytest.raises(InvalidArgument):
+        yanc_sc.write_text("/net/hosts/h1/mac", "not-a-mac")
+    with pytest.raises(InvalidArgument):
+        yanc_sc.write_text("/net/hosts/h1/ip", "999.1.1.1")
+    yanc_sc.write_text("/net/hosts/h1/mac", "02:00:00:00:00:01")
+    yanc_sc.write_text("/net/hosts/h1/ip", "10.0.0.1")
+
+
+def test_merge_in_port_conflict():
+    from repro.views import intersect
+
+    assert intersect(Match(in_port=1), Match(in_port=2)) is None
+    merged = intersect(Match(in_port=1), Match(in_port=1))
+    assert merged is not None and merged.in_port == 1
+
+
+def test_simulator_schedule_at():
+    from repro.sim import Simulator
+
+    sim = Simulator()
+    fired = []
+    sim.schedule_at(2.5, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == [2.5]
+
+
+def test_driver_meter_separate_from_apps(linear_controller):
+    """Driver bookkeeping is not billed to application meters (§8.1
+    accounting is about the *application's* syscalls)."""
+    ctl = linear_controller
+    from repro.perf import SyscallMeter
+
+    meter = SyscallMeter()
+    yc = ctl.client(meter=meter)
+    yc.create_flow("sw1", "f", Match(dl_type=0x800), [Output(1)], priority=5)
+    app_calls = meter.syscalls
+    ctl.run(0.5)  # driver does its work on its own meter
+    assert meter.syscalls == app_calls
+
+
+def test_switch_num_buffers_zero_full_frame_punts(linear_controller):
+    ctl = linear_controller
+    ctl.net.switches["sw1"].num_buffers = 0
+    yc = ctl.client()
+    yc.subscribe_events("sw1", "app")
+    ctl.run(0.1)
+    host = ctl.net.hosts["h1"]
+    from repro.netpkt import MacAddress, ip
+
+    host.arp_table[ip("10.0.0.99")] = MacAddress(0x99)
+    host.send_udp("10.0.0.99", 1, 2, b"p" * 500)
+    ctl.run(0.3)
+    events = yc.read_events("sw1", "app")
+    assert len(events) == 1
+    assert events[0].buffer_id == 0xFFFFFFFF
+    assert len(events[0].data) == events[0].total_len  # nothing truncated
+
+
+def test_miss_send_len_truncates_buffered_punts(linear_controller):
+    ctl = linear_controller
+    yc = ctl.client()
+    yc.subscribe_events("sw1", "app")
+    ctl.run(0.1)
+    host = ctl.net.hosts["h1"]
+    from repro.netpkt import MacAddress, ip
+
+    host.arp_table[ip("10.0.0.99")] = MacAddress(0x99)
+    host.send_udp("10.0.0.99", 1, 2, b"p" * 500)
+    ctl.run(0.3)
+    events = yc.read_events("sw1", "app")
+    assert len(events) == 1
+    assert events[0].buffer_id != 0xFFFFFFFF
+    assert len(events[0].data) == 128  # miss_send_len
+    assert events[0].total_len > 128
+
+
+def test_view_inside_view_namespace(yanc_sc):
+    """Nested views jail correctly too."""
+    from repro.vfs import Credentials
+    from repro.views import grant_view, tenant_process
+
+    yanc_sc.mkdir("/net/views/outer")
+    yanc_sc.mkdir("/net/views/outer/views/inner")
+    grant_view(yanc_sc, "/net/views/outer/views/inner", 1234, 1234)
+    tenant = tenant_process(yanc_sc.vfs, "/net/views/outer/views/inner", Credentials(uid=1234, gid=1234))
+    assert tenant.listdir("/net") == ["hosts", "switches", "views"]
+    assert tenant.listdir("/net/views") == []

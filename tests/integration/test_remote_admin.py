@@ -1,0 +1,85 @@
+"""Admin tooling over the distributed FS: coreutils against a remote /net.
+
+The §5.4 + §6 combination: because the remote mount is just another file
+system, the paper's one-liners work unchanged from another machine.
+"""
+
+import pytest
+
+from repro.dataplane import Match, Output, build_linear
+from repro.distfs import ControllerCluster
+from repro.runtime import YancController
+from repro.shell import Shell
+
+
+@pytest.fixture
+def remote_admin():
+    ctl = YancController(build_linear(2)).start()
+    yc = ctl.client()
+    yc.create_flow("sw1", "ssh", Match(dl_type=0x800, nw_proto=6, tp_dst=22), [Output(1)], priority=9)
+    ctl.run(0.2)
+    cluster = ControllerCluster(ctl.host, consistency="strict")
+    worker = cluster.add_worker("admin-box")
+    return ctl, Shell(worker.sc), worker
+
+
+def test_remote_ls(remote_admin):
+    _ctl, shell, _worker = remote_admin
+    assert shell.run("ls /net/switches").splitlines() == ["sw1", "sw2"]
+
+
+def test_remote_find_grep_oneliner(remote_admin):
+    _ctl, shell, _worker = remote_admin
+    out = shell.run("find /net -name match.tp_dst -exec grep 22 {} ;")
+    assert out.splitlines() == ["/net/switches/sw1/flows/ssh/match.tp_dst:22"]
+
+
+def test_remote_tree(remote_admin):
+    _ctl, shell, _worker = remote_admin
+    out = shell.run("tree /net -L 1")
+    assert [line.split()[-1] for line in out.splitlines()[1:]] == ["hosts", "switches", "views"]
+
+
+def test_remote_echo_configures_hardware(remote_admin):
+    ctl, shell, _worker = remote_admin
+    shell.run("echo 1 > /net/switches/sw1/ports/port_1/config.port_down")
+    ctl.run(0.3)
+    assert not ctl.net.switches["sw1"].ports[1].admin_up
+
+
+def test_remote_flow_push_via_shell(remote_admin):
+    ctl, shell, _worker = remote_admin
+    shell.run("mkdir /net/switches/sw2/flows/manual")
+    shell.run("echo 0x806 > /net/switches/sw2/flows/manual/match.dl_type")
+    shell.run("echo flood > /net/switches/sw2/flows/manual/action.out")
+    shell.run("echo 3 > /net/switches/sw2/flows/manual/priority")
+    shell.run("echo 1 > /net/switches/sw2/flows/manual/version")
+    ctl.run(0.3)
+    entries = ctl.net.switches["sw2"].table.entries()
+    assert len(entries) == 1
+    assert entries[0].match.dl_type == 0x0806
+
+
+def test_remote_rm_deletes_flow(remote_admin):
+    ctl, shell, _worker = remote_admin
+    shell.run("rm -r /net/switches/sw1/flows/ssh")
+    ctl.run(0.3)
+    assert ctl.client().flows("sw1") == []
+    assert len(ctl.net.switches["sw1"].table) == 0
+
+
+def test_remote_cp_flow_between_switches(remote_admin):
+    """cp -r a flow dir to another switch, bump version: cloned policy."""
+    ctl, shell, _worker = remote_admin
+    shell.run("cp -r /net/switches/sw1/flows/ssh /net/switches/sw2/flows/ssh")
+    shell.run("echo 2 > /net/switches/sw2/flows/ssh/version")
+    ctl.run(0.3)
+    assert len(ctl.net.switches["sw2"].table) == 1
+    assert ctl.net.switches["sw2"].table.entries()[0].match.tp_dst == 22
+
+
+def test_remote_admin_rpc_accounting(remote_admin):
+    _ctl, shell, worker = remote_admin
+    before = worker.channel.calls
+    shell.run("ls /net/switches")
+    assert worker.channel.calls > before

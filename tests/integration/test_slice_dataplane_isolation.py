@@ -1,0 +1,112 @@
+"""End-to-end slice isolation at the *dataplane* level.
+
+Two tenants, one physical network.  Each programs only its own
+headerspace through its own view; the hardware tables then forward each
+tenant's traffic while the other tenant's flows can never capture it —
+the FlowVisor property, realized with a file system.
+"""
+
+import pytest
+
+from repro.dataplane import Match, Output, build_linear
+from repro.netpkt import ETH_TYPE_IPV4, Ethernet, IPv4, Tcp, Udp, ip
+from repro.netpkt.packet import build_frame
+from repro.runtime import YancController
+from repro.views import Slicer
+from repro.yancfs import YancClient
+
+
+@pytest.fixture
+def sliced_world():
+    """One switch, two hosts; tenant A owns UDP, tenant B owns TCP."""
+    ctl = YancController(build_linear(1, hosts_per_switch=2)).start()
+    Slicer(
+        ctl.host.process(), ctl.sim, view="udp-tenant", switches=["sw1"],
+        headerspace=Match(dl_type=0x0800, nw_proto=17),
+    ).start()
+    Slicer(
+        ctl.host.process(), ctl.sim, view="tcp-tenant", switches=["sw1"],
+        headerspace=Match(dl_type=0x0800, nw_proto=6),
+    ).start()
+    ctl.run(0.2)
+    udp_tenant = ctl.client().in_view("udp-tenant")
+    tcp_tenant = ctl.client().in_view("tcp-tenant")
+    return ctl, udp_tenant, tcp_tenant
+
+
+def _udp(src, dst, payload=b"u"):
+    return build_frame(
+        Ethernet(dst=dst.mac, src=src.mac, eth_type=ETH_TYPE_IPV4),
+        IPv4(src=src.ip, dst=dst.ip, proto=17),
+        Udp(src_port=1111, dst_port=2222, payload=payload),
+    )
+
+
+def _tcp(src, dst, payload=b"t"):
+    return build_frame(
+        Ethernet(dst=dst.mac, src=src.mac, eth_type=ETH_TYPE_IPV4),
+        IPv4(src=src.ip, dst=dst.ip, proto=6),
+        Tcp(src_port=1111, dst_port=2222, payload=payload),
+    )
+
+
+def test_each_tenant_forwards_only_its_protocol(sliced_world):
+    ctl, udp_tenant, tcp_tenant = sliced_world
+    h1, h2 = ctl.net.hosts["h1"], ctl.net.hosts["h2"]
+    # each tenant forwards its own traffic to h2's port (port 2)
+    udp_tenant.create_flow("sw1", "fwd", Match(nw_proto=17), [Output(2)], priority=10)
+    tcp_tenant.create_flow("sw1", "fwd", Match(nw_proto=6), [Output(2)], priority=10)
+    ctl.run(0.5)
+    h1.send_raw(_udp(h1, h2))
+    h1.send_raw(_tcp(h1, h2))
+    ctl.run(0.5)
+    kinds = sorted(type(f.inner).__name__ for f in h2.received)
+    assert kinds == ["Tcp", "Udp"]
+
+
+def test_tenant_cannot_steal_other_tenants_traffic(sliced_world):
+    ctl, udp_tenant, _tcp_tenant = sliced_world
+    h1, h2 = ctl.net.hosts["h1"], ctl.net.hosts["h2"]
+    # the UDP tenant tries to install a wildcard flow stealing everything
+    udp_tenant.create_flow("sw1", "steal", Match(), [Output(2)], priority=0x7FFF)
+    ctl.run(0.5)
+    # the installed flow is narrowed to the UDP headerspace...
+    master = ctl.client()
+    spec = master.read_flow("sw1", "v_udp-tenant_steal")
+    assert spec.match.nw_proto == 17
+    # ...so TCP traffic still misses (no theft), while UDP forwards
+    h1.send_raw(_tcp(h1, h2))
+    h1.send_raw(_udp(h1, h2))
+    ctl.run(0.5)
+    kinds = [type(f.inner).__name__ for f in h2.received]
+    assert kinds == ["Udp"]
+
+
+def test_tenants_see_disjoint_packet_ins(sliced_world):
+    ctl, udp_tenant, tcp_tenant = sliced_world
+    udp_tenant.subscribe_events("sw1", "udp-app")
+    tcp_tenant.subscribe_events("sw1", "tcp-app")
+    ctl.run(0.2)
+    h1, h2 = ctl.net.hosts["h1"], ctl.net.hosts["h2"]
+    h1.send_raw(_udp(h1, h2))
+    h1.send_raw(_tcp(h1, h2))
+    ctl.run(0.5)
+    udp_events = udp_tenant.read_events("sw1", "udp-app")
+    tcp_events = tcp_tenant.read_events("sw1", "tcp-app")
+    assert len(udp_events) == 1 and len(tcp_events) == 1
+    from repro.netpkt import parse_frame
+
+    assert parse_frame(udp_events[0].data).key.nw_proto == 17
+    assert parse_frame(tcp_events[0].data).key.nw_proto == 6
+
+
+def test_tenant_counters_reflect_only_their_flows(sliced_world):
+    ctl, udp_tenant, _tcp = sliced_world
+    h1, h2 = ctl.net.hosts["h1"], ctl.net.hosts["h2"]
+    udp_tenant.create_flow("sw1", "fwd", Match(nw_proto=17), [Output(2)], priority=10)
+    ctl.run(0.5)
+    for _ in range(3):
+        h1.send_raw(_udp(h1, h2))
+    ctl.run(2.5)  # traffic + driver stats poll + slicer counter sync
+    counters = udp_tenant.flow_counters("sw1", "fwd")
+    assert counters["packet_count"] == 3

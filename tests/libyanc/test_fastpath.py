@@ -1,0 +1,123 @@
+"""libyanc: the no-syscall fastpath (paper section 8.1)."""
+
+import pytest
+
+from repro.dataplane import Match, Output, build_linear
+from repro.libyanc import LibYanc
+from repro.runtime import YancController
+from repro.vfs import EventMask, FileExists
+
+
+@pytest.fixture
+def rig():
+    ctl = YancController(build_linear(2)).start()
+    lib = LibYanc(ctl.host.fs, counters=ctl.host.vfs.counters)
+    return ctl, lib
+
+
+def test_create_flow_writes_whole_directory(rig):
+    ctl, lib = rig
+    lib.create_flow("sw1", "fast", Match(dl_type=0x800, tp_dst=443, nw_proto=6), [Output(2)], priority=9, idle_timeout=5)
+    yc = ctl.client()
+    spec = yc.read_flow("sw1", "fast")
+    assert spec.priority == 9
+    assert spec.match.tp_dst == 443
+    assert spec.version == 1
+
+
+def test_fastpath_flow_reaches_hardware(rig):
+    ctl, lib = rig
+    lib.create_flow("sw1", "fast", Match(dl_type=0x800), [Output(2)], priority=9)
+    ctl.run(0.2)
+    assert len(ctl.net.switches["sw1"].table) == 1
+
+
+def test_fastpath_costs_zero_syscalls(rig):
+    ctl, lib = rig
+    meter_counters = ctl.host.root_sc.meter.counters
+    before = meter_counters.get("syscall.total")
+    lib.create_flow("sw1", "fast", Match(dl_type=0x800), [Output(2)])
+    assert meter_counters.get("syscall.total") == before
+    assert lib.counters.get("libyanc.op") > 0
+
+
+def test_file_path_costs_many_syscalls(rig):
+    """The contrast the paper draws: the same flow via files is dozens of
+    syscalls, each a context switch."""
+    ctl, _lib = rig
+    from repro.perf import SyscallMeter
+
+    meter = SyscallMeter()
+    yc = ctl.client(meter=meter)
+    yc.create_flow("sw1", "slow", Match(dl_type=0x800), [Output(2)], priority=5)
+    assert meter.syscalls >= 10
+    assert meter.context_switches >= 40
+
+
+def test_fastpath_emits_same_events_as_file_path(rig):
+    """Drivers cannot tell the two paths apart (same watch events)."""
+    ctl, lib = rig
+    sc = ctl.host.root_sc
+    ino = sc.inotify_init()
+    sc.inotify_add_watch(ino, "/net/switches/sw1/flows", EventMask.IN_CREATE)
+    lib.create_flow("sw1", "fast", Match(dl_type=0x800), [Output(2)])
+    assert [e.name for e in sc.inotify_read(ino)] == ["fast"]
+
+
+def test_fastpath_validation_still_applies(rig):
+    _ctl, lib = rig
+    from repro.vfs import InvalidArgument
+
+    with pytest.raises(InvalidArgument):
+        lib.create_flow("sw1", "bad", Match(dl_type=0x800), [Output(2)], priority=99999)
+
+
+def test_duplicate_flow_rejected(rig):
+    _ctl, lib = rig
+    lib.create_flow("sw1", "f", Match(), [Output(1)])
+    with pytest.raises(FileExists):
+        lib.create_flow("sw1", "f", Match(), [Output(1)])
+
+
+def test_commit_increments_version(rig):
+    ctl, lib = rig
+    lib.create_flow("sw1", "f", Match(), [Output(1)], commit=False)
+    assert lib.commit_flow("sw1", "f") == 1
+    assert lib.commit_flow("sw1", "f") == 2
+    assert ctl.client().read_flow("sw1", "f").version == 2
+
+
+def test_delete_flow_removes_from_tree_and_hw(rig):
+    ctl, lib = rig
+    lib.create_flow("sw1", "f", Match(dl_type=0x800), [Output(2)])
+    ctl.run(0.2)
+    lib.delete_flow("sw1", "f")
+    ctl.run(0.2)
+    assert ctl.client().flows("sw1") == []
+    assert len(ctl.net.switches["sw1"].table) == 0
+
+
+def test_bulk_create(rig):
+    ctl, lib = rig
+    entries = [(f"bulk{i}", Match(dl_vlan=i), [Output(1)]) for i in range(10)]
+    assert lib.bulk_create("sw1", entries, priority=3) == 10
+    ctl.run(0.3)
+    assert len(ctl.net.switches["sw1"].table) == 10
+
+
+def test_flow_counters_readable(rig):
+    _ctl, lib = rig
+    lib.create_flow("sw1", "f", Match(), [Output(1)])
+    assert lib.flow_counters("sw1", "f") == {"packet_count": 0, "byte_count": 0}
+
+
+def test_read_attribute(rig):
+    _ctl, lib = rig
+    lib.create_flow("sw1", "f", Match(tp_dst=80, nw_proto=6, dl_type=0x800), [Output(1)], priority=8)
+    assert lib.read_attribute("sw1", "f", "priority") == "8"
+    assert lib.read_attribute("sw1", "f", "match.tp_dst") == "80"
+
+
+def test_list_switches(rig):
+    _ctl, lib = rig
+    assert lib.list_switches() == ["sw1", "sw2"]

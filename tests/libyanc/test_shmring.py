@@ -1,0 +1,79 @@
+"""ShmRing: zero-copy bulk data passing."""
+
+import pytest
+
+from repro.libyanc import ShmRing
+from repro.perf import PerfCounters
+
+
+def test_put_get_fifo_order():
+    ring = ShmRing(8)
+    ring.put(b"one")
+    ring.put(b"two")
+    assert bytes(ring.get()) == b"one"
+    assert bytes(ring.get()) == b"two"
+    assert ring.get() is None
+
+
+def test_zero_copy_identity():
+    """The consumer sees the producer's buffer, not a copy."""
+    ring = ShmRing(4)
+    buffer = bytearray(b"shared-payload")
+    ring.put(buffer)
+    view = ring.get()
+    buffer[0:6] = b"SHARED"
+    assert bytes(view[:6]) == b"SHARED"
+
+
+def test_zero_copy_bills_no_bytes():
+    counters = PerfCounters()
+    ring = ShmRing(4, counters=counters)
+    ring.put(b"x" * 10_000)
+    assert counters.get("bytes.copied") == 0
+
+
+def test_put_copy_bills_payload_bytes():
+    counters = PerfCounters()
+    ring = ShmRing(4, counters=counters)
+    ring.put_copy(b"x" * 10_000)
+    assert counters.get("bytes.copied") == 10_000
+
+
+def test_full_ring_drops():
+    ring = ShmRing(2)
+    assert ring.put(b"a")
+    assert ring.put(b"b")
+    assert ring.full
+    assert not ring.put(b"c")
+    assert ring.dropped == 1
+    assert len(ring) == 2
+
+
+def test_wraparound():
+    ring = ShmRing(2)
+    for index in range(10):
+        ring.put(str(index).encode())
+        assert bytes(ring.get()) == str(index).encode()
+
+
+def test_drain():
+    ring = ShmRing(8)
+    for index in range(5):
+        ring.put(bytes([index]))
+    assert [bytes(b) for b in ring.drain()] == [bytes([i]) for i in range(5)]
+    assert len(ring) == 0
+
+
+def test_op_counters():
+    counters = PerfCounters()
+    ring = ShmRing(4, counters=counters)
+    ring.put(b"a")
+    ring.get()
+    ring.get()
+    assert counters.get("shm.put") == 1
+    assert counters.get("shm.get") == 2
+
+
+def test_capacity_validation():
+    with pytest.raises(ValueError):
+        ShmRing(0)

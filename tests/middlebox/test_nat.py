@@ -1,0 +1,224 @@
+"""The NAT middlebox and its file-system driver (§7.2)."""
+
+import pytest
+
+from repro.dataplane.host import HostSim
+from repro.dataplane.link import Link
+from repro.middlebox import MiddleboxDriver, NatEntry, NatMiddlebox
+from repro.netpkt import MacAddress, Udp, ip
+from repro.runtime import ControllerHost
+from repro.shell import Shell
+from repro.sim import Simulator
+
+
+def _wire(sim, a, b):
+    link = Link(sim, a, b)
+    a.link = link
+    b.link = link
+    return link
+
+
+@pytest.fixture
+def natnet():
+    sim = Simulator()
+    host = ControllerHost(sim)
+    client = HostSim("client", MacAddress(0x01), ip("192.168.1.10"), sim)
+    server = HostSim("server", MacAddress(0x02), ip("8.8.8.8"), sim)
+    nat = NatMiddlebox("nat1", "203.0.113.1", sim)
+    _wire(sim, client, nat.inside)
+    _wire(sim, nat.outside, server)
+    client.arp_table[server.ip] = server.mac
+    server.arp_table[ip("203.0.113.1")] = client.mac
+    driver = MiddleboxDriver(host.root_sc.spawn(), sim)
+    driver.attach(nat)
+    return sim, host, client, server, nat, driver
+
+
+def test_outbound_translation(natnet):
+    sim, _host, client, server, nat, _driver = natnet
+    client.send_udp(server.ip, 5555, 53, b"q")
+    sim.run_for(0.2)
+    src_ip, datagram = server.udp_received[0]
+    assert src_ip == ip("203.0.113.1")
+    assert datagram.src_port == 20000  # first allocated public port
+    assert nat.translated == 1
+
+
+def test_reply_translated_back(natnet):
+    sim, _host, client, server, nat, _driver = natnet
+    client.send_udp(server.ip, 5555, 53, b"q")
+    sim.run_for(0.2)
+    public_port = server.udp_received[0][1].src_port
+    server.send_udp("203.0.113.1", 53, public_port, b"a")
+    sim.run_for(0.2)
+    src_ip, datagram = client.udp_received[0]
+    assert src_ip == server.ip
+    assert datagram.dst_port == 5555  # the original client port
+
+
+def test_same_flow_reuses_binding(natnet):
+    sim, _host, client, server, nat, _driver = natnet
+    for _ in range(3):
+        client.send_udp(server.ip, 5555, 53, b"q")
+    sim.run_for(0.3)
+    ports = {u.src_port for _s, u in server.udp_received}
+    assert ports == {20000}
+    assert len(nat.entries()) == 1
+
+
+def test_distinct_flows_distinct_ports(natnet):
+    sim, _host, client, server, nat, _driver = natnet
+    client.send_udp(server.ip, 5555, 53, b"a")
+    client.send_udp(server.ip, 5556, 53, b"b")
+    sim.run_for(0.3)
+    ports = {u.src_port for _s, u in server.udp_received}
+    assert len(ports) == 2
+
+
+def test_unknown_inbound_dropped(natnet):
+    sim, _host, client, server, nat, _driver = natnet
+    server.send_udp("203.0.113.1", 53, 29999, b"scan")
+    sim.run_for(0.2)
+    assert client.udp_received == []
+    assert nat.dropped == 1
+
+
+def test_port_pool_exhaustion():
+    sim = Simulator()
+    nat = NatMiddlebox("n", "203.0.113.1", sim, port_range=(30000, 30001))
+    assert nat._allocate(17, ip("10.0.0.1"), 1) is not None
+    assert nat._allocate(17, ip("10.0.0.1"), 2) is not None
+    assert nat._allocate(17, ip("10.0.0.1"), 3) is None
+
+
+def test_state_appears_in_tree(natnet):
+    sim, host, client, server, _nat, _driver = natnet
+    client.send_udp(server.ip, 5555, 53, b"q")
+    sim.run_for(0.2)
+    sc = host.root_sc
+    entries = sc.listdir("/net/middleboxes/nat1/state")
+    assert entries == ["udp-192.168.1.10-5555"]
+    base = f"/net/middleboxes/nat1/state/{entries[0]}"
+    assert sc.read_text(f"{base}/proto") == "udp"
+    assert sc.read_text(f"{base}/public_port") == "20000"
+
+
+def test_counters_synced_periodically(natnet):
+    sim, host, client, server, _nat, _driver = natnet
+    client.send_udp(server.ip, 5555, 53, b"q")
+    sim.run_for(1.5)
+    translated = int(host.root_sc.read_text("/net/middleboxes/nat1/counters/translated"))
+    assert translated >= 1
+    connections = int(host.root_sc.read_text("/net/middleboxes/nat1/counters/connections"))
+    assert connections == 1
+
+
+def test_rm_state_entry_tears_binding_down(natnet):
+    sim, host, client, server, nat, _driver = natnet
+    client.send_udp(server.ip, 5555, 53, b"q")
+    sim.run_for(0.2)
+    host.root_sc.rmdir("/net/middleboxes/nat1/state/udp-192.168.1.10-5555")
+    sim.run_for(0.2)
+    assert nat.entries() == []
+    # the reply now has nowhere to go
+    server.send_udp("203.0.113.1", 53, 20000, b"late")
+    sim.run_for(0.2)
+    assert client.udp_received == []
+
+
+def test_manual_state_injection(natnet):
+    """An admin (or another tool) writes a binding; the device honours it."""
+    sim, host, client, server, nat, _driver = natnet
+    sc = host.root_sc
+    base = "/net/middleboxes/nat1/state/udp-192.168.1.10-7777"
+    sc.mkdir(base)
+    sc.write_text(f"{base}/proto", "udp")
+    sc.write_text(f"{base}/client_ip", "192.168.1.10")
+    sc.write_text(f"{base}/client_port", "7777")
+    sc.write_text(f"{base}/public_port", "25000")
+    sim.run_for(0.2)
+    entry = nat.lookup_conn("udp-192.168.1.10-7777")
+    assert entry is not None and entry.public_port == 25000
+    # inbound traffic to the injected port reaches the client
+    server.send_udp("203.0.113.1", 53, 25000, b"hello")
+    sim.run_for(0.2)
+    assert client.udp_received[0][1].dst_port == 7777
+
+
+@pytest.fixture
+def migration(natnet):
+    sim, host, client, server, nat1, driver = natnet
+    nat2 = NatMiddlebox("nat2", "203.0.113.1", sim)
+    driver.attach(nat2)
+    client.send_udp(server.ip, 5555, 53, b"q")
+    sim.run_for(0.2)
+    return sim, host, client, server, nat1, nat2, driver
+
+
+def test_mv_migrates_binding(migration):
+    sim, host, _client, _server, nat1, nat2, driver = migration
+    shell = Shell(host.root_sc)
+    shell.run("mv /net/middleboxes/nat1/state/udp-192.168.1.10-5555 /net/middleboxes/nat2/state/udp-192.168.1.10-5555")
+    sim.run_for(0.2)
+    assert nat1.entries() == []
+    moved = nat2.lookup_conn("udp-192.168.1.10-5555")
+    assert moved is not None and moved.public_port == 20000
+    assert driver.migrations_in == 1 and driver.migrations_out == 1
+
+
+def test_migrated_connection_keeps_working(migration):
+    sim, host, client, server, nat1, nat2, _driver = migration
+    shell = Shell(host.root_sc)
+    shell.run("mv /net/middleboxes/nat1/state/udp-192.168.1.10-5555 /net/middleboxes/nat2/state/udp-192.168.1.10-5555")
+    sim.run_for(0.2)
+    # re-home the wire to nat2 (dataplane side of the elastic move)
+    link = Link(sim, client, nat2.inside)
+    client.link = link
+    nat2.inside.link = link
+    link2 = Link(sim, nat2.outside, server)
+    nat2.outside.link = link2
+    server.link = link2
+    client.send_udp(server.ip, 5555, 53, b"after")
+    sim.run_for(0.2)
+    assert server.udp_received[-1][1].src_port == 20000  # same public port
+
+
+def test_cp_duplicates_binding(migration):
+    """cp (not mv) = split: both instances can translate the flow."""
+    sim, host, _client, _server, nat1, nat2, _driver = migration
+    shell = Shell(host.root_sc)
+    shell.run("cp -r /net/middleboxes/nat1/state/udp-192.168.1.10-5555 /net/middleboxes/nat2/state/udp-192.168.1.10-5555")
+    sim.run_for(0.2)
+    assert nat1.lookup_conn("udp-192.168.1.10-5555") is not None
+    assert nat2.lookup_conn("udp-192.168.1.10-5555") is not None
+
+
+def test_middleboxes_dir_is_lazy(yanc_sc):
+    assert yanc_sc.listdir("/net") == ["hosts", "switches", "views"]
+    yanc_sc.mkdir("/net/middleboxes")
+    assert "middleboxes" in yanc_sc.listdir("/net")
+    yanc_sc.mkdir("/net/middleboxes/mb1")
+    assert set(yanc_sc.listdir("/net/middleboxes/mb1")) == {"counters", "state", "type", "public_ip"}
+
+
+def test_state_dir_schema_rules(yanc_sc):
+    from repro.vfs import NotPermitted
+
+    yanc_sc.mkdir("/net/middleboxes")
+    yanc_sc.mkdir("/net/middleboxes/mb1")
+    with pytest.raises(NotPermitted):
+        yanc_sc.write_text("/net/middleboxes/mb1/state/notadir", "x")
+    yanc_sc.mkdir("/net/middleboxes/mb1/state/conn1")
+    with pytest.raises(NotPermitted):
+        yanc_sc.mkdir("/net/middleboxes/mb1/state/conn1/nested")
+    # recursive rmdir works on state entries
+    yanc_sc.write_text("/net/middleboxes/mb1/state/conn1/proto", "udp")
+    yanc_sc.rmdir("/net/middleboxes/mb1/state/conn1")
+
+
+def test_non_udp_tcp_traffic_passes_through(natnet):
+    sim, _host, client, server, nat, _driver = natnet
+    seq = client.ping(server.ip)  # ICMP: untranslated pass-through
+    sim.run_for(0.3)
+    assert client.reachable(seq)
+    assert nat.translated == 0

@@ -1,0 +1,180 @@
+"""Header pack/unpack for every protocol layer."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.netpkt import (
+    ETH_TYPE_ARP,
+    ETH_TYPE_IPV4,
+    Arp,
+    Ethernet,
+    Icmp,
+    IPv4,
+    Lldp,
+    MacAddress,
+    Tcp,
+    Udp,
+    ip,
+)
+from repro.netpkt.arp import ARP_REPLY, ARP_REQUEST
+from repro.netpkt.ethernet import Vlan
+from repro.netpkt.ipv4 import internet_checksum
+
+MAC_A = MacAddress("02:00:00:00:00:01")
+MAC_B = MacAddress("02:00:00:00:00:02")
+
+
+def test_ethernet_roundtrip():
+    frame = Ethernet(dst=MAC_B, src=MAC_A, eth_type=ETH_TYPE_IPV4, payload=b"hello")
+    parsed = Ethernet.unpack(frame.pack())
+    assert (parsed.dst, parsed.src, parsed.eth_type, parsed.payload) == (MAC_B, MAC_A, ETH_TYPE_IPV4, b"hello")
+
+
+def test_ethernet_vlan_roundtrip():
+    frame = Ethernet(dst=MAC_B, src=MAC_A, eth_type=ETH_TYPE_IPV4, vlan=Vlan(vid=100, pcp=5), payload=b"x")
+    parsed = Ethernet.unpack(frame.pack())
+    assert parsed.vlan is not None
+    assert (parsed.vlan.vid, parsed.vlan.pcp) == (100, 5)
+    assert parsed.eth_type == ETH_TYPE_IPV4
+
+
+def test_ethernet_truncated():
+    with pytest.raises(ValueError):
+        Ethernet.unpack(b"\x00" * 10)
+
+
+def test_vlan_tci_roundtrip():
+    tag = Vlan(vid=4095, pcp=7, dei=True)
+    assert Vlan.from_tci(tag.tci) == tag
+
+
+def test_vlan_bad_vid():
+    with pytest.raises(ValueError):
+        Vlan(vid=4096)
+
+
+def test_arp_request_reply_roundtrip():
+    request = Arp.request(MAC_A, ip("10.0.0.1"), ip("10.0.0.2"))
+    parsed = Arp.unpack(request.pack())
+    assert parsed.opcode == ARP_REQUEST
+    reply = parsed.reply_from(MAC_B)
+    parsed_reply = Arp.unpack(reply.pack())
+    assert parsed_reply.opcode == ARP_REPLY
+    assert parsed_reply.sender_mac == MAC_B
+    assert parsed_reply.target_ip == ip("10.0.0.1")
+
+
+def test_arp_rejects_non_ethernet():
+    raw = bytearray(Arp.request(MAC_A, ip("1.1.1.1"), ip("2.2.2.2")).pack())
+    raw[0:2] = b"\x00\x06"  # hardware type: IEEE 802
+    with pytest.raises(ValueError):
+        Arp.unpack(bytes(raw))
+
+
+def test_ipv4_roundtrip_and_checksum():
+    packet = IPv4(src=ip("10.0.0.1"), dst=ip("10.0.0.2"), proto=17, ttl=3, tos=8, payload=b"data")
+    raw = packet.pack()
+    assert internet_checksum(raw[:20]) == 0
+    parsed = IPv4.unpack(raw)
+    assert (parsed.src, parsed.dst, parsed.proto, parsed.ttl, parsed.tos, parsed.payload) == (
+        ip("10.0.0.1"),
+        ip("10.0.0.2"),
+        17,
+        3,
+        8,
+        b"data",
+    )
+
+
+def test_ipv4_corrupted_checksum_rejected():
+    raw = bytearray(IPv4(src=ip("1.1.1.1"), dst=ip("2.2.2.2"), proto=6).pack())
+    raw[8] ^= 0xFF
+    with pytest.raises(ValueError):
+        IPv4.unpack(bytes(raw))
+
+
+def test_ipv4_ttl_decrement():
+    packet = IPv4(src=ip("1.1.1.1"), dst=ip("2.2.2.2"), proto=6, ttl=1)
+    assert packet.decremented().ttl == 0
+    with pytest.raises(ValueError):
+        packet.decremented().decremented()
+
+
+def test_icmp_echo_roundtrip():
+    echo = Icmp.echo_request(ident=7, seq=3, payload=b"ping")
+    parsed = Icmp.unpack(echo.pack())
+    assert (parsed.ident, parsed.seq, parsed.payload) == (7, 3, b"ping")
+    reply = parsed.echo_reply()
+    assert Icmp.unpack(reply.pack()).icmp_type == 0
+
+
+def test_icmp_bad_checksum():
+    raw = bytearray(Icmp.echo_request(1, 1).pack())
+    raw[4] ^= 0x01
+    with pytest.raises(ValueError):
+        Icmp.unpack(bytes(raw))
+
+
+def test_udp_roundtrip():
+    parsed = Udp.unpack(Udp(src_port=53, dst_port=5353, payload=b"q").pack())
+    assert (parsed.src_port, parsed.dst_port, parsed.payload) == (53, 5353, b"q")
+
+
+def test_udp_bad_length_field():
+    raw = bytearray(Udp(src_port=1, dst_port=2, payload=b"abc").pack())
+    raw[4:6] = (100).to_bytes(2, "big")
+    with pytest.raises(ValueError):
+        Udp.unpack(bytes(raw))
+
+
+def test_udp_port_range():
+    with pytest.raises(ValueError):
+        Udp(src_port=70000, dst_port=1)
+
+
+def test_tcp_roundtrip():
+    seg = Tcp(src_port=1234, dst_port=22, seq=99, ack=100, flags=0x12, window=1000, payload=b"ssh")
+    parsed = Tcp.unpack(seg.pack())
+    assert (parsed.src_port, parsed.dst_port, parsed.seq, parsed.ack) == (1234, 22, 99, 100)
+    assert parsed.flags == 0x12 and parsed.payload == b"ssh"
+
+
+def test_lldp_roundtrip():
+    pdu = Lldp(chassis_id="sw1", port_id="3", ttl=60)
+    parsed = Lldp.unpack(pdu.pack())
+    assert (parsed.chassis_id, parsed.port_id, parsed.ttl) == ("sw1", "3", 60)
+
+
+def test_lldp_preserves_unknown_tlvs():
+    pdu = Lldp(chassis_id="a", port_id="1", extra_tlvs=[(5, b"sysname")])
+    parsed = Lldp.unpack(pdu.pack())
+    assert parsed.extra_tlvs == [(5, b"sysname")]
+
+
+def test_lldp_missing_mandatory_tlv():
+    with pytest.raises(ValueError):
+        Lldp.unpack(b"\x00\x00")
+
+
+@given(
+    src=st.integers(min_value=0, max_value=2**32 - 1),
+    dst=st.integers(min_value=0, max_value=2**32 - 1),
+    proto=st.integers(min_value=0, max_value=255),
+    payload=st.binary(max_size=64),
+)
+def test_ipv4_roundtrip_property(src, dst, proto, payload):
+    packet = IPv4(src=ip(src), dst=ip(dst), proto=proto, payload=payload)
+    parsed = IPv4.unpack(packet.pack())
+    assert parsed.src == packet.src and parsed.dst == packet.dst
+    assert parsed.proto == proto and parsed.payload == payload
+
+
+@given(
+    sport=st.integers(min_value=0, max_value=65535),
+    dport=st.integers(min_value=0, max_value=65535),
+    payload=st.binary(max_size=64),
+)
+def test_tcp_roundtrip_property(sport, dport, payload):
+    parsed = Tcp.unpack(Tcp(src_port=sport, dst_port=dport, payload=payload).pack())
+    assert (parsed.src_port, parsed.dst_port, parsed.payload) == (sport, dport, payload)

@@ -1,0 +1,52 @@
+"""The codec registry and version helpers."""
+
+import pytest
+
+import repro.openflow.of10 as of10
+import repro.openflow.of13 as of13
+from repro.openflow import (
+    CODECS,
+    VERSION_NAMES,
+    CodecError,
+    codec_for,
+    decode_any,
+    messages as m,
+    peek_version,
+)
+
+
+def test_registry_contents():
+    assert set(CODECS) == {0x01, 0x04}
+    assert CODECS[0x01] is of10
+    assert CODECS[0x04] is of13
+    assert VERSION_NAMES[0x01] == "OpenFlow 1.0"
+    assert VERSION_NAMES[0x04] == "OpenFlow 1.3"
+
+
+def test_peek_version():
+    assert peek_version(of10.encode(m.Hello(version=1))) == 0x01
+    assert peek_version(of13.encode(m.Hello(version=4))) == 0x04
+    with pytest.raises(CodecError):
+        peek_version(b"")
+
+
+def test_codec_for_unknown_version():
+    with pytest.raises(CodecError):
+        codec_for(0x02)  # OpenFlow 1.1: not implemented
+
+
+def test_decode_any_dispatches_by_version():
+    for codec, version in ((of10, 0x01), (of13, 0x04)):
+        raw = codec.encode(m.EchoRequest(payload=b"v"))
+        msg, seen_version, rest = decode_any(raw)
+        assert isinstance(msg, m.EchoRequest)
+        assert seen_version == version
+        assert rest == b""
+
+
+def test_decode_any_mixed_stream():
+    stream = of10.encode(m.Hello(version=1)) + of13.encode(m.Hello(version=4))
+    first, v1, rest = decode_any(stream)
+    second, v2, rest = decode_any(rest)
+    assert (v1, v2) == (0x01, 0x04)
+    assert rest == b""

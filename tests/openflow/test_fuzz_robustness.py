@@ -1,0 +1,107 @@
+"""Codec robustness: hostile bytes must fail cleanly, never crash oddly.
+
+A driver shares a network with black-box switch firmware; a codec that
+raises anything other than CodecError on malformed input (or worse, loops)
+would let one bad switch take the driver down.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import repro.openflow.of10 as of10
+import repro.openflow.of13 as of13
+from repro.dataplane import Match, Output
+from repro.openflow import messages as m
+from repro.openflow.codec import decode_any
+from repro.openflow.of10 import CodecError
+
+CODECS = [of10, of13]
+
+
+@settings(max_examples=300, deadline=None)
+@given(data=st.binary(max_size=128))
+@pytest.mark.parametrize("codec", CODECS, ids=["of10", "of13"])
+def test_random_bytes_never_crash(codec, data):
+    try:
+        codec.decode(data)
+    except CodecError:
+        pass  # the only acceptable failure mode
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    mutation_at=st.integers(min_value=0, max_value=79),
+    mutation=st.integers(min_value=1, max_value=255),
+)
+@pytest.mark.parametrize("codec", CODECS, ids=["of10", "of13"])
+def test_bitflipped_flowmod_decodes_or_fails_cleanly(codec, mutation_at, mutation):
+    raw = bytearray(codec.encode(m.FlowMod(match=Match(dl_type=0x800, tp_dst=22, nw_proto=6), actions=[Output(1)], priority=9)))
+    index = mutation_at % len(raw)
+    raw[index] ^= mutation
+    try:
+        codec.decode(bytes(raw))
+    except (CodecError, ValueError):
+        pass  # ValueError: e.g. an enum value outside its range
+
+
+@settings(max_examples=200, deadline=None)
+@given(data=st.binary(min_size=8, max_size=64))
+def test_decode_any_dispatches_or_rejects(data):
+    try:
+        decode_any(data)
+    except (CodecError, ValueError):
+        pass
+
+
+@pytest.mark.parametrize("codec", CODECS, ids=["of10", "of13"])
+def test_length_field_lies_short(codec):
+    raw = bytearray(codec.encode(m.EchoRequest(payload=b"x" * 16)))
+    raw[2:4] = (4).to_bytes(2, "big")  # shorter than the header itself
+    with pytest.raises(CodecError):
+        codec.decode(bytes(raw))
+
+
+@pytest.mark.parametrize("codec", CODECS, ids=["of10", "of13"])
+def test_length_field_lies_long(codec):
+    raw = bytearray(codec.encode(m.EchoRequest(payload=b"x")))
+    raw[2:4] = (1000).to_bytes(2, "big")
+    with pytest.raises(CodecError):
+        codec.decode(bytes(raw))
+
+
+def test_of13_unknown_oxm_class_skipped():
+    """Experimenter OXMs must be skipped, not fatal (spec behaviour)."""
+    import struct
+
+    # match with one experimenter TLV then a real eth_type TLV
+    tlvs = struct.pack("!HBB", 0xFFFF, 0, 4) + b"\x00" * 4
+    tlvs += struct.pack("!HBB", 0x8000, of13.OXM_ETH_TYPE << 1, 2) + struct.pack("!H", 0x0800)
+    head = struct.pack("!HH", 1, 4 + len(tlvs))
+    padded = head + tlvs + b"\x00" * ((8 - (4 + len(tlvs)) % 8) % 8)
+    match, consumed = of13.unpack_match(padded)
+    assert match.dl_type == 0x0800
+    assert consumed == len(padded)
+
+
+def test_agent_survives_garbage_stream():
+    from repro.controlchannel import connect
+    from repro.dataplane import Network
+    from repro.openflow import SwitchAgent
+    from repro.sim import Simulator
+
+    sim = Simulator()
+    net = Network(sim)
+    switch = net.add_switch("s")
+    driver_end, agent_end = connect(sim)
+    agent = SwitchAgent(switch, agent_end)
+    agent.start()
+    # a garbage message with a coherent length header
+    driver_end.send(b"\x01\xee\x00\x10" + b"\xff" * 12)
+    # followed by a valid features request, which must still be answered
+    driver_end.send(of10.encode(m.Hello(version=1)))
+    driver_end.send(of10.encode(m.FeaturesRequest(xid=5)))
+    sim.run_for(0.01)
+    assert agent.errors_sent == 1
+    received = driver_end.drain()
+    assert received  # hello + error + features reply all arrived

@@ -1,0 +1,73 @@
+"""PerfCounters and snapshots."""
+
+import pytest
+
+from repro.perf import CounterSnapshot, PerfCounters
+
+
+def test_counters_start_at_zero():
+    counters = PerfCounters()
+    assert counters.get("anything") == 0
+
+
+def test_add_and_get():
+    counters = PerfCounters()
+    counters.add("syscall.read")
+    counters.add("syscall.read", 4)
+    assert counters.get("syscall.read") == 5
+
+
+def test_negative_increment_rejected():
+    counters = PerfCounters()
+    with pytest.raises(ValueError):
+        counters.add("x", -1)
+
+
+def test_total_prefix_sum():
+    counters = PerfCounters()
+    counters.add("syscall.read", 2)
+    counters.add("syscall.write", 3)
+    counters.add("ctxsw", 10)
+    assert counters.total("syscall.") == 5
+
+
+def test_snapshot_is_immutable_copy():
+    counters = PerfCounters()
+    counters.add("a", 1)
+    snap = counters.snapshot()
+    counters.add("a", 1)
+    assert snap.get("a") == 1
+    assert counters.get("a") == 2
+
+
+def test_delta_between_snapshots():
+    counters = PerfCounters()
+    counters.add("a", 1)
+    before = counters.snapshot()
+    counters.add("a", 2)
+    counters.add("b", 7)
+    delta = counters.snapshot().delta(before)
+    assert delta == {"a": 2, "b": 7}
+
+
+def test_delta_omits_unchanged():
+    counters = PerfCounters()
+    counters.add("steady", 5)
+    before = counters.snapshot()
+    counters.add("moving", 1)
+    assert "steady" not in counters.snapshot().delta(before)
+
+
+def test_reset_zeroes_everything():
+    counters = PerfCounters()
+    counters.add("a", 3)
+    counters.reset()
+    assert counters.get("a") == 0
+    assert counters.names() == []
+
+
+def test_names_sorted():
+    counters = PerfCounters()
+    counters.add("zeta")
+    counters.add("alpha")
+    assert counters.names() == ["alpha", "zeta"]

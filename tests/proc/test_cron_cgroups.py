@@ -1,0 +1,171 @@
+"""Cron scheduling and cgroup accounting."""
+
+import pytest
+
+from repro.proc import Cgroup, CgroupManager, Cron, ResourceLimitExceeded
+from repro.sim import Simulator
+
+
+# -- cron ------------------------------------------------------------------------
+
+
+def test_cron_runs_on_interval():
+    sim = Simulator()
+    cron = Cron(sim)
+    runs = []
+    cron.add_job("tick", 1.0, lambda: runs.append(sim.now))
+    sim.run_until(3.5)
+    assert runs == [1.0, 2.0, 3.0]
+
+
+def test_cron_job_failure_isolated():
+    sim = Simulator()
+    cron = Cron(sim)
+
+    def flaky():
+        raise RuntimeError("boom")
+
+    ok_runs = []
+    cron.add_job("flaky", 1.0, flaky)
+    cron.add_job("steady", 1.0, lambda: ok_runs.append(1))
+    sim.run_until(3.5)
+    assert cron.jobs["flaky"].failures == 3
+    assert cron.jobs["flaky"].runs == 0
+    assert len(ok_runs) == 3
+
+
+def test_cron_remove_job():
+    sim = Simulator()
+    cron = Cron(sim)
+    runs = []
+    cron.add_job("j", 1.0, lambda: runs.append(1))
+    sim.run_until(1.5)
+    cron.remove_job("j")
+    sim.run_until(5.0)
+    assert len(runs) == 1
+
+
+def test_cron_duplicate_name_rejected():
+    cron = Cron(Simulator())
+    cron.add_job("j", 1.0, lambda: None)
+    with pytest.raises(ValueError):
+        cron.add_job("j", 2.0, lambda: None)
+
+
+def test_cron_stop_all():
+    sim = Simulator()
+    cron = Cron(sim)
+    runs = []
+    cron.add_job("a", 1.0, lambda: runs.append(1))
+    cron.add_job("b", 1.0, lambda: runs.append(1))
+    cron.stop()
+    sim.run_until(5.0)
+    assert runs == []
+
+
+def test_cron_last_run_recorded():
+    sim = Simulator()
+    cron = Cron(sim)
+    job = cron.add_job("j", 2.0, lambda: None)
+    sim.run_until(4.5)
+    assert job.last_run == 4.0
+
+
+# -- cgroups ---------------------------------------------------------------------
+
+
+def test_cgroup_paths_and_hierarchy():
+    mgr = CgroupManager()
+    tenants = mgr.create("/tenants")
+    gold = mgr.create("/tenants/gold")
+    assert gold.path == "/tenants/gold"
+    assert gold.parent is tenants
+
+
+def test_charge_propagates_to_ancestors():
+    mgr = CgroupManager()
+    mgr.create("/tenants")
+    mgr.create("/tenants/gold")
+    mgr.attach("app1", "/tenants/gold")
+    mgr.charge("app1", "cpu", 3.0)
+    assert mgr.get("/tenants/gold").used("cpu") == 3.0
+    assert mgr.get("/tenants").used("cpu") == 3.0
+    assert mgr.root.used("cpu") == 3.0
+
+
+def test_limit_enforced_at_any_ancestor():
+    mgr = CgroupManager()
+    mgr.create("/tenants", limits={"flows": 10})
+    mgr.create("/tenants/gold", limits={"flows": 8})
+    mgr.attach("app", "/tenants/gold")
+    mgr.charge("app", "flows", 8)
+    with pytest.raises(ResourceLimitExceeded):
+        mgr.charge("app", "flows", 1)
+
+
+def test_parent_limit_caps_children_jointly():
+    mgr = CgroupManager()
+    mgr.create("/t", limits={"flows": 10})
+    mgr.create("/t/a")
+    mgr.create("/t/b")
+    mgr.attach("pa", "/t/a")
+    mgr.attach("pb", "/t/b")
+    mgr.charge("pa", "flows", 6)
+    mgr.charge("pb", "flows", 4)
+    with pytest.raises(ResourceLimitExceeded) as info:
+        mgr.charge("pb", "flows", 1)
+    assert info.value.group == "/t"
+
+
+def test_rejected_charge_leaves_no_partial_accounting():
+    mgr = CgroupManager()
+    mgr.create("/t", limits={"mem": 5})
+    mgr.create("/t/a")  # unlimited child
+    mgr.attach("p", "/t/a")
+    with pytest.raises(ResourceLimitExceeded):
+        mgr.charge("p", "mem", 6)
+    assert mgr.get("/t/a").used("mem") == 0.0
+
+
+def test_unplaced_process_unaccounted():
+    mgr = CgroupManager()
+    mgr.charge("ghost", "cpu", 100)  # no-op, no error
+    assert mgr.root.used("cpu") == 0.0
+
+
+def test_attach_moves_between_groups():
+    mgr = CgroupManager()
+    mgr.create("/a")
+    mgr.create("/b")
+    mgr.attach("p", "/a")
+    mgr.attach("p", "/b")
+    assert mgr.group_of("p").path == "/b"
+    assert "p" not in mgr.get("/a").members
+
+
+def test_usage_report():
+    mgr = CgroupManager()
+    mgr.create("/x")
+    mgr.attach("p", "/x")
+    mgr.charge("p", "io", 2.5)
+    report = mgr.usage_report()
+    assert report["/x"] == {"io": 2.5}
+
+
+def test_bad_paths_rejected():
+    mgr = CgroupManager()
+    with pytest.raises(ValueError):
+        mgr.create("/no/parent/yet")
+    with pytest.raises(ValueError):
+        mgr.get("/absent")
+    mgr.create("/dup")
+    with pytest.raises(ValueError):
+        mgr.create("/dup")
+
+
+def test_negative_charge_rejected():
+    mgr = CgroupManager()
+    mgr.create("/g")
+    mgr.attach("p", "/g")
+    with pytest.raises(ValueError):
+        mgr.charge("p", "cpu", -1)

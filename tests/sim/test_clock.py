@@ -1,0 +1,132 @@
+"""The discrete-event simulator."""
+
+import pytest
+
+from repro.sim import Simulator
+
+
+def test_time_starts_at_zero():
+    assert Simulator().now == 0.0
+
+
+def test_schedule_and_run_order():
+    sim = Simulator()
+    order = []
+    sim.schedule(2.0, lambda: order.append("b"))
+    sim.schedule(1.0, lambda: order.append("a"))
+    sim.schedule(3.0, lambda: order.append("c"))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_ties_resolve_in_scheduling_order():
+    sim = Simulator()
+    order = []
+    for label in "abc":
+        sim.schedule(1.0, lambda label=label: order.append(label))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_clock_advances_to_event_time():
+    sim = Simulator()
+    seen = []
+    sim.schedule(1.5, lambda: seen.append(sim.now))
+    sim.run()
+    assert seen == [1.5]
+    assert sim.now == 1.5
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(ValueError):
+        Simulator().schedule(-1, lambda: None)
+
+
+def test_schedule_at_past_rejected():
+    sim = Simulator()
+    sim.schedule(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.schedule_at(0.5, lambda: None)
+
+
+def test_cancel_prevents_firing():
+    sim = Simulator()
+    fired = []
+    event = sim.schedule(1.0, lambda: fired.append(1))
+    event.cancel()
+    sim.run()
+    assert fired == []
+
+
+def test_events_can_schedule_events():
+    sim = Simulator()
+    seen = []
+
+    def first():
+        sim.schedule(1.0, lambda: seen.append(sim.now))
+
+    sim.schedule(1.0, first)
+    sim.run()
+    assert seen == [2.0]
+
+
+def test_run_until_leaves_future_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: fired.append("early"))
+    sim.schedule(5.0, lambda: fired.append("late"))
+    sim.run_until(2.0)
+    assert fired == ["early"]
+    assert sim.now == 2.0
+    assert sim.pending == 1
+
+
+def test_run_for_is_relative():
+    sim = Simulator()
+    sim.run_for(2.0)
+    sim.run_for(3.0)
+    assert sim.now == 5.0
+
+
+def test_runaway_loop_detected():
+    sim = Simulator()
+
+    def again():
+        sim.schedule(0.0, again)
+
+    sim.schedule(0.0, again)
+    with pytest.raises(RuntimeError):
+        sim.run(max_events=100)
+
+
+def test_periodic_task_fires_until_stopped():
+    sim = Simulator()
+    ticks = []
+    task = sim.every(1.0, lambda: ticks.append(sim.now))
+    sim.run_until(3.5)
+    task.stop()
+    sim.run_until(10.0)
+    assert ticks == [1.0, 2.0, 3.0]
+    assert task.stopped
+
+
+def test_periodic_start_delay():
+    sim = Simulator()
+    ticks = []
+    sim.every(1.0, lambda: ticks.append(sim.now), start_delay=0.0)
+    sim.run_until(2.5)
+    assert ticks == [0.0, 1.0, 2.0]
+
+
+def test_periodic_zero_interval_rejected():
+    with pytest.raises(ValueError):
+        Simulator().every(0, lambda: None)
+
+
+def test_dispatched_counter():
+    sim = Simulator()
+    sim.schedule(1, lambda: None)
+    sim.schedule(2, lambda: None)
+    sim.run()
+    assert sim.dispatched == 2

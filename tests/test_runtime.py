@@ -1,0 +1,74 @@
+"""The runtime assembly helpers."""
+
+import pytest
+
+from repro import Credentials, Match, Output, Simulator, YancController, build_linear
+from repro.runtime import ControllerHost
+
+
+def test_controller_host_mounts_yancfs():
+    host = ControllerHost(Simulator())
+    assert host.root_sc.listdir("/net") == ["hosts", "switches", "views"]
+    assert host.fs.fs_type == "yancfs"
+
+
+def test_controller_host_custom_mount_point():
+    host = ControllerHost(Simulator(), mount_point="/srv/net")
+    assert host.root_sc.listdir("/srv/net") == ["hosts", "switches", "views"]
+    assert host.client().root == "/srv/net"
+
+
+def test_process_isolation_of_meters():
+    host = ControllerHost(Simulator())
+    a = host.process()
+    b = host.process()
+    a.listdir("/net")
+    assert a.meter.syscalls == 1
+    assert b.meter.syscalls == 0
+
+
+def test_process_credentials():
+    host = ControllerHost(Simulator())
+    user = host.process(cred=Credentials(uid=42, gid=42))
+    user.chdir("/net")
+    assert user.cred.uid == 42
+
+
+def test_controller_requires_shared_simulator():
+    net = build_linear(2)
+    with pytest.raises(ValueError):
+        YancController(net, sim=Simulator())
+
+
+def test_start_attaches_everything():
+    ctl = YancController(build_linear(3)).start()
+    assert len(ctl.drivers) == 1
+    assert set(ctl.drivers[0].bindings) == {1, 2, 3}
+    assert all(binding.ready for binding in ctl.drivers[0].bindings.values())
+
+
+def test_fs_name_translation():
+    ctl = YancController(build_linear(2)).start()
+    assert ctl.fs_name_of("sw1") == "sw1"
+    from repro.dataplane import build_fat_tree
+
+    ctl2 = YancController(build_fat_tree(4)).start()
+    assert ctl2.fs_name_of("core1") == "sw1"
+    expected = ctl2.expected_topology()
+    assert all(name.startswith("sw") for (name, _port) in expected)
+
+
+def test_run_advances_shared_clock():
+    ctl = YancController(build_linear(2))
+    before = ctl.sim.now
+    ctl.run(1.5)
+    assert ctl.sim.now == before + 1.5
+    assert ctl.net.sim is ctl.sim
+
+
+def test_client_pushes_through_default_driver():
+    ctl = YancController(build_linear(2)).start()
+    yc = ctl.client()
+    yc.create_flow("sw1", "f", Match(dl_type=0x806), [Output(1)], priority=2)
+    ctl.run(0.2)
+    assert len(ctl.net.switches["sw1"].table) == 1

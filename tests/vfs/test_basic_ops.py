@@ -1,0 +1,217 @@
+"""Core file and directory operations through the syscall facade."""
+
+import pytest
+
+from repro.vfs import (
+    O_APPEND,
+    O_CREAT,
+    O_EXCL,
+    O_RDONLY,
+    O_RDWR,
+    O_TRUNC,
+    O_WRONLY,
+    BadFileDescriptor,
+    DirectoryNotEmpty,
+    FileExists,
+    FileNotFound,
+    IsADirectory,
+    NotADirectory,
+)
+
+
+def test_mkdir_and_listdir(sc):
+    sc.mkdir("/a")
+    sc.mkdir("/a/b")
+    assert sc.listdir("/") == ["a"]
+    assert sc.listdir("/a") == ["b"]
+
+
+def test_mkdir_existing_fails(sc):
+    sc.mkdir("/a")
+    with pytest.raises(FileExists):
+        sc.mkdir("/a")
+
+
+def test_mkdir_missing_parent_fails(sc):
+    with pytest.raises(FileNotFound):
+        sc.mkdir("/missing/child")
+
+
+def test_makedirs_creates_chain(sc):
+    sc.makedirs("/a/b/c/d")
+    assert sc.listdir("/a/b/c") == ["d"]
+
+
+def test_write_read_roundtrip(sc):
+    sc.write_text("/f", "hello world")
+    assert sc.read_text("/f") == "hello world"
+
+
+def test_write_bytes_binary_safe(sc):
+    payload = bytes(range(256))
+    sc.write_bytes("/bin", payload)
+    assert sc.read_bytes("/bin") == payload
+
+
+def test_append_mode(sc):
+    sc.write_text("/log", "one\n")
+    sc.write_text("/log", "two\n", append=True)
+    assert sc.read_text("/log") == "one\ntwo\n"
+
+
+def test_truncate_via_open_flag(sc):
+    sc.write_text("/f", "long content")
+    sc.write_text("/f", "x")
+    assert sc.read_text("/f") == "x"
+
+
+def test_o_excl_on_existing(sc):
+    sc.write_text("/f", "a")
+    with pytest.raises(FileExists):
+        sc.open("/f", O_WRONLY | O_CREAT | O_EXCL)
+
+
+def test_open_missing_without_creat(sc):
+    with pytest.raises(FileNotFound):
+        sc.open("/nope", O_RDONLY)
+
+
+def test_read_on_writeonly_fd(sc):
+    fd = sc.open("/f", O_WRONLY | O_CREAT)
+    with pytest.raises(BadFileDescriptor):
+        sc.read(fd)
+
+
+def test_write_on_readonly_fd(sc):
+    sc.write_text("/f", "x")
+    fd = sc.open("/f", O_RDONLY)
+    with pytest.raises(BadFileDescriptor):
+        sc.write(fd, b"y")
+
+
+def test_closed_fd_rejected(sc):
+    fd = sc.open("/f", O_WRONLY | O_CREAT)
+    sc.close(fd)
+    with pytest.raises(BadFileDescriptor):
+        sc.write(fd, b"x")
+    with pytest.raises(BadFileDescriptor):
+        sc.close(fd)
+
+
+def test_pread_pwrite_do_not_move_offset(sc):
+    sc.write_text("/f", "abcdef")
+    fd = sc.open("/f", O_RDWR)
+    assert sc.pread(fd, 2, 2) == b"cd"
+    sc.pwrite(fd, b"XY", 0)
+    assert sc.read(fd) == b"XYcdef"
+    sc.close(fd)
+
+
+def test_lseek_and_sparse_write(sc):
+    fd = sc.open("/f", O_RDWR | O_CREAT)
+    sc.lseek(fd, 4)
+    sc.write(fd, b"end")
+    sc.close(fd)
+    assert sc.read_bytes("/f") == b"\x00\x00\x00\x00end"
+
+
+def test_append_flag_writes_at_eof(sc):
+    sc.write_text("/f", "base")
+    fd = sc.open("/f", O_WRONLY | O_APPEND)
+    sc.lseek(fd, 0)
+    sc.write(fd, b"+tail")
+    sc.close(fd)
+    assert sc.read_text("/f") == "base+tail"
+
+
+def test_unlink_removes_file(sc):
+    sc.write_text("/f", "x")
+    sc.unlink("/f")
+    assert not sc.exists("/f")
+
+
+def test_unlink_directory_rejected(sc):
+    sc.mkdir("/d")
+    with pytest.raises(IsADirectory):
+        sc.unlink("/d")
+
+
+def test_rmdir_empty_only(sc):
+    sc.mkdir("/d")
+    sc.write_text("/d/f", "x")
+    with pytest.raises(DirectoryNotEmpty):
+        sc.rmdir("/d")
+    sc.unlink("/d/f")
+    sc.rmdir("/d")
+    assert not sc.exists("/d")
+
+
+def test_rmdir_file_rejected(sc):
+    sc.write_text("/f", "x")
+    with pytest.raises(NotADirectory):
+        sc.rmdir("/f")
+
+
+def test_listdir_on_file_rejected(sc):
+    sc.write_text("/f", "x")
+    with pytest.raises(NotADirectory):
+        sc.listdir("/f")
+
+
+def test_read_through_file_component_rejected(sc):
+    sc.write_text("/f", "x")
+    with pytest.raises(NotADirectory):
+        sc.read_text("/f/sub")
+
+
+def test_stat_basics(sc, sim):
+    sim.run_for(5.0)
+    sc.write_text("/f", "12345")
+    st = sc.stat("/f")
+    assert st.size == 5
+    assert not st.is_dir
+    assert st.mtime == 5.0
+
+
+def test_fstat_matches_stat(sc):
+    sc.write_text("/f", "abc")
+    fd = sc.open("/f", O_RDONLY)
+    assert sc.fstat(fd).ino == sc.stat("/f").ino
+    sc.close(fd)
+
+
+def test_truncate_by_path(sc):
+    sc.write_text("/f", "abcdef")
+    sc.truncate("/f", 3)
+    assert sc.read_text("/f") == "abc"
+    sc.truncate("/f", 6)
+    assert sc.read_bytes("/f") == b"abc\x00\x00\x00"
+
+
+def test_cwd_relative_paths(sc):
+    sc.makedirs("/a/b")
+    sc.chdir("/a")
+    sc.write_text("b/file", "rel")
+    assert sc.read_text("/a/b/file") == "rel"
+    assert sc.getcwd() == "/a"
+
+
+def test_chdir_to_file_rejected(sc):
+    sc.write_text("/f", "x")
+    with pytest.raises(NotADirectory):
+        sc.chdir("/f")
+
+
+def test_file_handle_context_manager(vfs, sc):
+    with vfs.open(sc.ns, sc.cred, "/f", O_WRONLY | O_CREAT) as handle:
+        handle.write(b"ctx")
+    assert sc.read_text("/f") == "ctx"
+
+
+def test_walk_yields_all_levels(sc):
+    sc.makedirs("/a/b")
+    sc.write_text("/a/f1", "")
+    sc.write_text("/a/b/f2", "")
+    seen = {dirpath: (sorted(dirs), sorted(files)) for dirpath, dirs, files in sc.walk("/a")}
+    assert seen["/a"] == (["b"], ["f1"])
+    assert seen["/a/b"] == ([], ["f2"])

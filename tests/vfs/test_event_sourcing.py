@@ -1,0 +1,256 @@
+"""Notify completeness: the tree can be reconstructed from events alone.
+
+If inotify is to be the *only* coupling between yanc and its applications
+(the paper's design), the event stream must be complete: a mirror process
+that watches every directory and applies create/delete/move events to a
+shadow model must end up with exactly the real tree structure — no silent
+mutations.  This is the strongest form of the §5.2 "comes free" property,
+checked here both on handwritten scenarios and under hypothesis-driven
+random operation sequences.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.vfs import (
+    EventMask,
+    FsError,
+    Inotify,
+    Syscalls,
+    VirtualFileSystem,
+)
+
+_WATCH_MASK = (
+    EventMask.IN_CREATE
+    | EventMask.IN_DELETE
+    | EventMask.IN_MOVED_FROM
+    | EventMask.IN_MOVED_TO
+)
+
+
+class TreeMirror:
+    """Reconstructs directory structure purely from inotify events."""
+
+    def __init__(self, sc: Syscalls, root: str = "/") -> None:
+        self.sc = sc
+        self.ino: Inotify = sc.inotify_init()
+        self.root = root.rstrip("/") or "/"
+        #: path -> "dir" | "file" | "symlink"
+        self.shadow: dict[str, str] = {}
+        self._wd_to_path: dict[int, str] = {}
+        self._watch(self.root)
+        self._scan(self.root)
+
+    def _watch(self, path: str) -> None:
+        wd = self.sc.inotify_add_watch(self.ino, path, _WATCH_MASK)
+        self._wd_to_path[wd] = path
+
+    def _scan(self, path: str) -> None:
+        for name in self.sc.listdir(path):
+            child = f"{path.rstrip('/')}/{name}"
+            stat = self.sc.lstat(child)
+            kind = "dir" if stat.is_dir else ("symlink" if stat.is_symlink else "file")
+            self.shadow[child] = kind
+            if kind == "dir":
+                self._watch(child)
+                self._scan(child)
+
+    def pump(self) -> None:
+        """Apply all pending events to the shadow."""
+        pending_moves: dict[int, str] = {}
+        for event in self.ino.read():
+            base = self._wd_to_path.get(event.wd)
+            if base is None or event.name is None:
+                continue
+            path = f"{base.rstrip('/')}/{event.name}"
+            if event.mask & EventMask.IN_CREATE:
+                self._add(path, event.is_dir)
+            elif event.mask & EventMask.IN_DELETE:
+                self._remove(path)
+            elif event.mask & EventMask.IN_MOVED_FROM:
+                pending_moves[event.cookie] = path
+            elif event.mask & EventMask.IN_MOVED_TO:
+                source = pending_moves.pop(event.cookie, None)
+                if source is not None:
+                    self._move(source, path)
+                else:
+                    self._add(path, event.is_dir)
+        # moves whose IN_MOVED_TO landed outside our watch scope
+        for source in pending_moves.values():
+            self._remove(source)
+
+    def _add(self, path: str, is_dir: bool) -> None:
+        if is_dir:
+            self.shadow[path] = "dir"
+            try:
+                self._watch(path)
+                self._scan(path)  # semantic mkdir may have auto-populated it
+            except FsError:
+                pass
+        else:
+            try:
+                kind = "symlink" if self.sc.lstat(path).is_symlink else "file"
+            except FsError:
+                kind = "file"
+            self.shadow[path] = kind
+
+    def _remove(self, path: str) -> None:
+        prefix = path + "/"
+        for known in list(self.shadow):
+            if known == path or known.startswith(prefix):
+                del self.shadow[known]
+
+    def _move(self, old: str, new: str) -> None:
+        prefix = old + "/"
+        renames = {}
+        for known, kind in list(self.shadow.items()):
+            if known == old or known.startswith(prefix):
+                renames[new + known[len(old) :]] = kind
+                del self.shadow[known]
+        self.shadow.update(renames)
+        # Watches follow inodes, so our path labels for watch descriptors
+        # inside the moved subtree are now stale — relabel them (exactly
+        # what real inotify consumers must do after IN_MOVED_*).
+        for wd, path in list(self._wd_to_path.items()):
+            if path == old or path.startswith(prefix):
+                self._wd_to_path[wd] = new + path[len(old) :]
+
+    def real_tree(self) -> dict[str, str]:
+        """Ground truth, read directly."""
+        out: dict[str, str] = {}
+
+        def scan(path: str) -> None:
+            for name in self.sc.listdir(path):
+                child = f"{path.rstrip('/')}/{name}"
+                stat = self.sc.lstat(child)
+                kind = "dir" if stat.is_dir else ("symlink" if stat.is_symlink else "file")
+                out[child] = kind
+                if kind == "dir":
+                    scan(child)
+
+        scan(self.root)
+        return out
+
+
+@pytest.fixture
+def mirror_rig():
+    vfs = VirtualFileSystem()
+    sc = Syscalls(vfs)
+    return sc, TreeMirror(sc)
+
+
+def test_mirror_tracks_creates(mirror_rig):
+    sc, mirror = mirror_rig
+    sc.makedirs("/a/b")
+    sc.write_text("/a/b/f", "x")
+    sc.symlink("/a", "/lnk")
+    mirror.pump()
+    assert mirror.shadow == mirror.real_tree()
+    assert mirror.shadow["/a/b/f"] == "file"
+    assert mirror.shadow["/lnk"] == "symlink"
+
+
+def test_mirror_tracks_deletes(mirror_rig):
+    sc, mirror = mirror_rig
+    sc.makedirs("/a/b")
+    sc.write_text("/a/f", "x")
+    mirror.pump()
+    sc.unlink("/a/f")
+    sc.rmdir("/a/b")
+    mirror.pump()
+    assert mirror.shadow == mirror.real_tree() == {"/a": "dir"}
+
+
+def test_mirror_tracks_renames_with_subtrees(mirror_rig):
+    sc, mirror = mirror_rig
+    sc.makedirs("/old/deep/deeper")
+    sc.write_text("/old/deep/file", "x")
+    mirror.pump()
+    sc.rename("/old", "/new")
+    mirror.pump()
+    assert mirror.shadow == mirror.real_tree()
+    assert "/new/deep/file" in mirror.shadow
+
+
+def test_mirror_tracks_semantic_mkdir():
+    """yancfs auto-population is fully visible through events."""
+    from repro.yancfs import mount_yancfs
+
+    vfs = VirtualFileSystem()
+    sc = Syscalls(vfs)
+    mount_yancfs(sc)
+    mirror = TreeMirror(sc, "/net")
+    sc.mkdir("/net/switches/sw1")
+    mirror.pump()
+    sc.mkdir("/net/switches/sw1/flows/f1")
+    mirror.pump()
+    assert mirror.shadow == mirror.real_tree()
+    assert mirror.shadow["/net/switches/sw1/flows/f1/version"] == "file"
+
+
+class MirrorMachine(RuleBasedStateMachine):
+    """Random op sequences; the mirror must never diverge."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.sc = Syscalls(VirtualFileSystem())
+        self.mirror = TreeMirror(self.sc)
+
+    def _dirs(self) -> list[str]:
+        dirs = ["/"] + [p for p, k in self.mirror.real_tree().items() if k == "dir"]
+        return sorted(dirs)
+
+    @rule(data=st.data(), name=st.sampled_from(["a", "b", "c"]))
+    def mkdir(self, data, name):
+        parent = data.draw(st.sampled_from(self._dirs()))
+        try:
+            self.sc.mkdir(f"{parent.rstrip('/')}/{name}")
+        except FsError:
+            pass
+
+    @rule(data=st.data(), name=st.sampled_from(["f", "g"]))
+    def write(self, data, name):
+        parent = data.draw(st.sampled_from(self._dirs()))
+        try:
+            self.sc.write_text(f"{parent.rstrip('/')}/{name}", "content")
+        except FsError:
+            pass
+
+    @rule(data=st.data())
+    def remove_something(self, data):
+        tree = self.mirror.real_tree()
+        if not tree:
+            return
+        path = data.draw(st.sampled_from(sorted(tree)))
+        try:
+            if tree[path] == "dir":
+                self.sc.rmdir(path)
+            else:
+                self.sc.unlink(path)
+        except FsError:
+            pass
+
+    @rule(data=st.data(), new_name=st.sampled_from(["moved", "renamed"]))
+    def rename_something(self, data, new_name):
+        tree = self.mirror.real_tree()
+        if not tree:
+            return
+        source = data.draw(st.sampled_from(sorted(tree)))
+        target_parent = data.draw(st.sampled_from(self._dirs()))
+        try:
+            self.sc.rename(source, f"{target_parent.rstrip('/')}/{new_name}")
+        except FsError:
+            pass
+
+    @invariant()
+    def mirror_matches_reality(self):
+        self.mirror.pump()
+        assert self.mirror.shadow == self.mirror.real_tree()
+
+
+MirrorTest = MirrorMachine.TestCase
+MirrorTest.settings = settings(max_examples=30, stateful_step_count=25, deadline=None)

@@ -1,0 +1,114 @@
+"""fanotify permission events: blocking verdicts on opens and reads."""
+
+import pytest
+
+from repro.vfs import (
+    Credentials,
+    FanMask,
+    NotPermitted,
+    O_RDONLY,
+    O_WRONLY,
+    Syscalls,
+)
+
+
+def _inode(sc, path):
+    return sc.vfs.resolve(sc.ns, sc.cred, path)
+
+
+def test_open_perm_deny_blocks_open(sc):
+    sc.write_text("/guarded", "x")
+    group = sc.vfs.fanotify.group(lambda event: False)
+    group.mark(_inode(sc, "/guarded"), FanMask.FAN_OPEN_PERM)
+    with pytest.raises(NotPermitted):
+        sc.open("/guarded", O_RDONLY)
+    assert group.denials == 1
+    group.close()
+
+
+def test_open_perm_allow_passes(sc):
+    sc.write_text("/guarded", "x")
+    group = sc.vfs.fanotify.group(lambda event: True)
+    group.mark(_inode(sc, "/guarded"), FanMask.FAN_OPEN_PERM)
+    assert sc.read_text("/guarded") == "x"
+    assert group.events_seen == 1
+    group.close()
+
+
+def test_write_perm_mask_ignores_readonly_opens(sc):
+    sc.write_text("/config", "v1")
+    group = sc.vfs.fanotify.group(lambda event: False)
+    group.mark(_inode(sc, "/config"), FanMask.FAN_OPEN_WRITE_PERM)
+    assert sc.read_text("/config") == "v1"  # reads untouched
+    with pytest.raises(NotPermitted):
+        sc.open("/config", O_WRONLY)
+    group.close()
+
+
+def test_subtree_mark_covers_descendants(sc):
+    sc.makedirs("/zone/deep")
+    sc.write_text("/zone/deep/f", "x")
+    sc.write_text("/outside", "y")
+    group = sc.vfs.fanotify.group(lambda event: False)
+    group.mark(_inode(sc, "/zone"), FanMask.FAN_OPEN_PERM, subtree=True)
+    with pytest.raises(NotPermitted):
+        sc.read_text("/zone/deep/f")
+    assert sc.read_text("/outside") == "y"
+    group.close()
+
+
+def test_access_perm_gates_reads_on_open_handles(sc):
+    sc.write_text("/f", "secret")
+    fd = sc.open("/f", O_RDONLY)  # opened before the mark
+    group = sc.vfs.fanotify.group(lambda event: False)
+    group.mark(_inode(sc, "/f"), FanMask.FAN_ACCESS_PERM)
+    with pytest.raises(NotPermitted):
+        sc.read(fd)
+    group.close()
+    sc.close(fd)
+
+
+def test_verdict_sees_credentials(sc, vfs):
+    sc.write_text("/f", "x")
+    allowed_uids = {0, 100}
+    group = sc.vfs.fanotify.group(lambda event: event.cred.uid in allowed_uids)
+    group.mark(_inode(sc, "/f"), FanMask.FAN_OPEN_PERM)
+    assert sc.read_text("/f") == "x"  # root
+    user100 = Syscalls(vfs, cred=Credentials(uid=100, gid=100))
+    assert user100.read_text("/f") == "x"
+    user200 = Syscalls(vfs, cred=Credentials(uid=200, gid=200))
+    with pytest.raises(NotPermitted):
+        user200.read_text("/f")
+    group.close()
+
+
+def test_closed_group_stops_interfering(sc):
+    sc.write_text("/f", "x")
+    group = sc.vfs.fanotify.group(lambda event: False)
+    group.mark(_inode(sc, "/f"), FanMask.FAN_OPEN_PERM)
+    group.close()
+    assert sc.read_text("/f") == "x"
+
+
+def test_change_freeze_scenario(yanc_sc, yc):
+    """The yanc use case: a guard process freezes flow writes fleet-wide,
+    while reads (monitoring) continue."""
+    yc.create_switch("sw1")
+    yc.create_flow("sw1", "f", __import__("repro.dataplane", fromlist=["Match"]).Match(dl_vlan=1), [], priority=5, commit=False)
+    flows_inode = yanc_sc.vfs.resolve(yanc_sc.ns, yanc_sc.cred, "/net/switches/sw1/flows")
+    guard = yanc_sc.vfs.fanotify.group(lambda event: not event.writable)
+    guard.mark(flows_inode, FanMask.FAN_OPEN_WRITE_PERM, subtree=True)
+    with pytest.raises(NotPermitted):
+        yc.commit_flow("sw1", "f")  # version write blocked
+    assert yc.read_flow("sw1", "f").version == 0  # reads fine
+    guard.close()
+    yc.commit_flow("sw1", "f")  # freeze lifted
+    assert yc.read_flow("sw1", "f").version == 1
+
+
+def test_empty_mask_rejected(sc):
+    sc.write_text("/f", "x")
+    group = sc.vfs.fanotify.group(lambda event: True)
+    with pytest.raises(ValueError):
+        group.mark(_inode(sc, "/f"), FanMask(0))
+    group.close()

@@ -1,0 +1,136 @@
+"""Mount table, bind mounts, and mount namespaces (paper section 5.3)."""
+
+import pytest
+
+from repro.vfs import (
+    Credentials,
+    DeviceBusy,
+    FileNotFound,
+    InvalidArgument,
+    MemFs,
+    NotPermitted,
+    Syscalls,
+)
+
+
+def test_mount_and_cross(sc):
+    sc.mkdir("/mnt")
+    extra = MemFs()
+    sc.mount("/mnt", extra)
+    sc.write_text("/mnt/f", "on extra fs")
+    assert sc.read_text("/mnt/f") == "on extra fs"
+    assert sc.stat("/mnt/f").dev == extra.dev != sc.stat("/").dev
+
+
+def test_mount_hides_underlying_content(sc):
+    sc.mkdir("/mnt")
+    sc.write_text("/mnt/hidden", "below")
+    sc.mount("/mnt", MemFs())
+    assert sc.listdir("/mnt") == []
+    sc.umount("/mnt")
+    assert sc.read_text("/mnt/hidden") == "below"
+
+
+def test_mount_requires_root(vfs, sc):
+    sc.mkdir("/mnt")
+    user = Syscalls(vfs, cred=Credentials(uid=1000, gid=1000))
+    with pytest.raises(NotPermitted):
+        user.mount("/mnt", MemFs())
+
+
+def test_double_mount_same_point_rejected(sc):
+    sc.mkdir("/mnt")
+    sc.mount("/mnt", MemFs())
+    with pytest.raises(DeviceBusy):
+        sc.mount("/mnt", MemFs())
+
+
+def test_umount_not_mounted_rejected(sc):
+    sc.mkdir("/plain")
+    with pytest.raises(InvalidArgument):
+        sc.umount("/plain")
+
+
+def test_rmdir_mountpoint_rejected(sc):
+    sc.mkdir("/mnt")
+    sc.mount("/mnt", MemFs())
+    with pytest.raises(DeviceBusy):
+        sc.rmdir("/mnt")
+
+
+def test_dotdot_crosses_mount_back(sc):
+    sc.mkdir("/mnt")
+    sc.write_text("/marker", "root fs")
+    sc.mount("/mnt", MemFs())
+    assert sc.read_text("/mnt/../marker") == "root fs"
+
+
+def test_bind_mount_aliases_subtree(sc):
+    sc.makedirs("/data/deep")
+    sc.write_text("/data/deep/f", "x")
+    sc.mkdir("/alias")
+    sc.bind_mount("/data/deep", "/alias")
+    assert sc.read_text("/alias/f") == "x"
+    sc.write_text("/alias/g", "via alias")
+    assert sc.read_text("/data/deep/g") == "via alias"
+
+
+def test_namespace_clone_sees_existing_mounts(vfs, sc):
+    sc.mkdir("/mnt")
+    sc.mount("/mnt", MemFs())
+    sc.write_text("/mnt/f", "x")
+    clone = sc.ns.clone()
+    proc = Syscalls(vfs, ns=clone)
+    assert proc.read_text("/mnt/f") == "x"
+
+
+def test_namespace_mounts_are_private_after_clone(vfs, sc):
+    sc.mkdir("/mnt")
+    clone = sc.ns.clone()
+    proc = Syscalls(vfs, ns=clone)
+    proc.mount("/mnt", MemFs())
+    proc.write_text("/mnt/private", "ns-only")
+    # the original namespace never sees the clone's mount
+    assert not sc.exists("/mnt/private")
+
+
+def test_pivoted_namespace_restricts_root(vfs, sc):
+    sc.makedirs("/jail/inside")
+    sc.write_text("/jail/inside/f", "jailed")
+    sc.write_text("/secret", "outside")
+    from repro.vfs.inode import require_dir
+
+    jail_dir = require_dir(vfs.resolve(sc.ns, sc.cred, "/jail"))
+    ns = sc.ns.pivoted(jail_dir)
+    proc = Syscalls(vfs, ns=ns)
+    assert proc.read_text("/inside/f") == "jailed"
+    with pytest.raises(FileNotFound):
+        proc.read_text("/secret")
+    # dot-dot cannot climb out of the pivoted root
+    assert proc.listdir("/..") == proc.listdir("/")
+
+
+def test_mount_inside_namespace_only(vfs, sc):
+    sc.mkdir("/shared")
+    private_ns = sc.ns.clone(name="priv")
+    proc = Syscalls(vfs, ns=private_ns)
+    proc.mount("/shared", MemFs())
+    proc.write_text("/shared/f", "private")
+    assert sc.listdir("/shared") == []
+
+
+def test_umount_requires_root(vfs, sc):
+    sc.mkdir("/mnt")
+    sc.mount("/mnt", MemFs())
+    user = Syscalls(vfs, cred=Credentials(uid=1000, gid=1000))
+    with pytest.raises(NotPermitted):
+        user.umount("/mnt")
+
+
+def test_mounts_listing(sc):
+    sc.mkdir("/a")
+    sc.mkdir("/b")
+    sc.mount("/a", MemFs(), source="fs-a")
+    sc.mount("/b", MemFs(), source="fs-b")
+    sources = sorted(entry.source for entry in sc.ns.mounts())
+    assert sources == ["fs-a", "fs-b"]

@@ -1,0 +1,140 @@
+"""Property-based VFS testing against a pure-dict model."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.vfs import (
+    DirectoryNotEmpty,
+    FileExists,
+    FileNotFound,
+    IsADirectory,
+    NotADirectory,
+    Syscalls,
+    VirtualFileSystem,
+)
+
+_NAMES = st.sampled_from(["a", "b", "c", "dir1", "file2", "x"])
+_CONTENT = st.binary(max_size=32)
+
+
+class VfsModelMachine(RuleBasedStateMachine):
+    """Drive the real VFS and a dict model with the same operations.
+
+    Model: path -> bytes for files, path -> None for directories.
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.sc = Syscalls(VirtualFileSystem())
+        self.model: dict[str, bytes | None] = {"/": None}
+
+    # -- helpers --------------------------------------------------------------------
+
+    def _existing_dirs(self) -> list[str]:
+        return sorted(p for p, v in self.model.items() if v is None)
+
+    def _join(self, parent: str, name: str) -> str:
+        return f"{parent.rstrip('/')}/{name}"
+
+    def _subtree(self, path: str) -> list[str]:
+        prefix = path.rstrip("/") + "/"
+        return [p for p in self.model if p == path or p.startswith(prefix)]
+
+    # -- rules ----------------------------------------------------------------------
+
+    @rule(data=st.data(), name=_NAMES)
+    def mkdir(self, data, name):
+        parent = data.draw(st.sampled_from(self._existing_dirs()))
+        path = self._join(parent, name)
+        if path in self.model:
+            with pytest.raises(FileExists):
+                self.sc.mkdir(path)
+        else:
+            self.sc.mkdir(path)
+            self.model[path] = None
+
+    @rule(data=st.data(), name=_NAMES, content=_CONTENT)
+    def write(self, data, name, content):
+        parent = data.draw(st.sampled_from(self._existing_dirs()))
+        path = self._join(parent, name)
+        if self.model.get(path, b"") is None:
+            with pytest.raises(IsADirectory):
+                self.sc.write_bytes(path, content)
+        else:
+            self.sc.write_bytes(path, content)
+            self.model[path] = content
+
+    @rule(data=st.data())
+    def read(self, data):
+        files = sorted(p for p, v in self.model.items() if v is not None)
+        if not files:
+            return
+        path = data.draw(st.sampled_from(files))
+        assert self.sc.read_bytes(path) == self.model[path]
+
+    @rule(data=st.data(), name=_NAMES)
+    def unlink(self, data, name):
+        parent = data.draw(st.sampled_from(self._existing_dirs()))
+        path = self._join(parent, name)
+        value = self.model.get(path, "missing")
+        if value == "missing":
+            with pytest.raises(FileNotFound):
+                self.sc.unlink(path)
+        elif value is None:
+            with pytest.raises(IsADirectory):
+                self.sc.unlink(path)
+        else:
+            self.sc.unlink(path)
+            del self.model[path]
+
+    @rule(data=st.data())
+    def rmdir(self, data):
+        dirs = [d for d in self._existing_dirs() if d != "/"]
+        if not dirs:
+            return
+        path = data.draw(st.sampled_from(dirs))
+        if len(self._subtree(path)) > 1:
+            with pytest.raises(DirectoryNotEmpty):
+                self.sc.rmdir(path)
+        else:
+            self.sc.rmdir(path)
+            del self.model[path]
+
+    @rule(data=st.data(), name=_NAMES)
+    def rename_file(self, data, name):
+        files = sorted(p for p, v in self.model.items() if v is not None)
+        if not files:
+            return
+        src = data.draw(st.sampled_from(files))
+        parent = data.draw(st.sampled_from(self._existing_dirs()))
+        dst = self._join(parent, name)
+        if dst == src or dst not in self.model or self.model[dst] is not None:
+            if self.model.get(dst, b"") is None and dst != src:
+                return  # directory target: covered elsewhere
+            self.sc.rename(src, dst)
+            content = self.model.pop(src)
+            self.model[dst] = content
+        else:
+            with pytest.raises(IsADirectory):
+                self.sc.rename(src, dst)
+
+    # -- invariants ------------------------------------------------------------------
+
+    @invariant()
+    def model_and_fs_agree(self):
+        real: dict[str, bytes | None] = {"/": None}
+        for dirpath, dirnames, filenames in self.sc.walk("/"):
+            for name in dirnames:
+                real[self._join(dirpath, name)] = None
+            for name in filenames:
+                path = self._join(dirpath, name)
+                real[path] = self.sc.read_bytes(path)
+        assert real == self.model
+
+
+VfsModelTest = VfsModelMachine.TestCase
+VfsModelTest.settings = settings(max_examples=40, stateful_step_count=30, deadline=None)

@@ -1,0 +1,148 @@
+"""Read-only file systems, name limits, and handle edge cases."""
+
+import pytest
+
+from repro.vfs import (
+    InvalidArgument,
+    MemFs,
+    NameTooLong,
+    O_CREAT,
+    O_RDONLY,
+    O_RDWR,
+    O_WRONLY,
+    ReadOnly,
+)
+
+
+@pytest.fixture
+def ro(sc):
+    """A read-only fs mounted at /ro, pre-populated before sealing."""
+    fs = MemFs()
+    sc.mkdir("/ro")
+    sc.mount("/ro", fs)
+    sc.write_text("/ro/existing", "frozen")
+    fs.readonly = True
+    return sc
+
+
+def test_readonly_blocks_writes(ro):
+    with pytest.raises(ReadOnly):
+        ro.write_text("/ro/new", "x")
+    with pytest.raises(ReadOnly):
+        ro.write_text("/ro/existing", "y")
+
+
+def test_readonly_blocks_mkdir_unlink(ro):
+    with pytest.raises(ReadOnly):
+        ro.mkdir("/ro/dir")
+    with pytest.raises(ReadOnly):
+        ro.unlink("/ro/existing")
+
+
+def test_readonly_blocks_truncate(ro):
+    with pytest.raises(ReadOnly):
+        ro.truncate("/ro/existing", 1)
+
+
+def test_readonly_allows_reads(ro):
+    assert ro.read_text("/ro/existing") == "frozen"
+    assert ro.listdir("/ro") == ["existing"]
+
+
+def test_readonly_open_for_write_rejected(ro):
+    with pytest.raises(ReadOnly):
+        ro.open("/ro/existing", O_WRONLY)
+    fd = ro.open("/ro/existing", O_RDONLY)
+    ro.close(fd)
+
+
+def test_name_too_long(sc):
+    with pytest.raises(NameTooLong):
+        sc.mkdir("/" + "x" * 300)
+
+
+def test_name_with_slash_or_nul_rejected(sc):
+    with pytest.raises(InvalidArgument):
+        sc.vfs.mkdir(sc.ns, sc.cred, "/a\x00b")
+
+
+def test_dot_names_rejected_for_creation(sc):
+    with pytest.raises(InvalidArgument):
+        sc.mkdir("/.")
+    from repro.vfs import IsADirectory
+
+    with pytest.raises(IsADirectory):
+        sc.write_text("/..", "x")  # resolves to the root directory
+
+
+def test_operations_on_root_rejected(sc):
+    with pytest.raises(InvalidArgument):
+        sc.rmdir("/")
+    with pytest.raises(InvalidArgument):
+        sc.unlink("/")
+
+
+def test_negative_read_write_params(sc):
+    sc.write_text("/f", "abc")
+    fd = sc.open("/f", O_RDWR)
+    with pytest.raises(InvalidArgument):
+        sc.lseek(fd, -1)
+    with pytest.raises(InvalidArgument):
+        sc.pread(fd, -1, 0)
+    sc.close(fd)
+
+
+def test_read_at_eof_returns_empty(sc):
+    sc.write_text("/f", "abc")
+    fd = sc.open("/f", O_RDONLY)
+    sc.read(fd)
+    assert sc.read(fd) == b""
+    sc.close(fd)
+
+
+def test_pread_beyond_eof(sc):
+    sc.write_text("/f", "abc")
+    fd = sc.open("/f", O_RDONLY)
+    assert sc.pread(fd, 10, 100) == b""
+    sc.close(fd)
+
+
+def test_open_creat_through_dangling_symlink_errors(sc):
+    sc.symlink("/nowhere", "/link")
+    from repro.vfs import FileExists
+
+    with pytest.raises(FileExists):
+        sc.open("/link", O_WRONLY | O_CREAT)
+
+
+def test_two_handles_share_inode_state(sc):
+    sc.write_text("/f", "start")
+    fd1 = sc.open("/f", O_RDWR)
+    fd2 = sc.open("/f", O_RDONLY)
+    sc.write(fd1, b"WRITE")
+    assert sc.read(fd2) == b"WRITE"
+    sc.close(fd1)
+    sc.close(fd2)
+
+
+def test_makedirs_idempotent(sc):
+    sc.makedirs("/a/b/c")
+    sc.makedirs("/a/b/c")  # no error
+    assert sc.exists("/a/b/c")
+
+
+def test_spawned_process_has_independent_fds(vfs, sc):
+    sc.write_text("/f", "x")
+    fd = sc.open("/f", O_RDONLY)
+    child = sc.spawn()
+    from repro.vfs import BadFileDescriptor
+
+    with pytest.raises(BadFileDescriptor):
+        child.read(fd)
+    sc.close(fd)
+
+
+def test_meter_inherited_model_on_spawn(sc):
+    child = sc.spawn()
+    assert child.meter is not sc.meter
+    assert child.meter.model is sc.meter.model

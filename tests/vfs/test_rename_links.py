@@ -1,0 +1,146 @@
+"""rename(2) and hard links."""
+
+import pytest
+
+from repro.vfs import (
+    CrossDevice,
+    DirectoryNotEmpty,
+    FileExists,
+    InvalidArgument,
+    IsADirectory,
+    MemFs,
+    NotADirectory,
+    NotPermitted,
+)
+
+
+def test_rename_file_same_dir(sc):
+    sc.write_text("/a", "x")
+    sc.rename("/a", "/b")
+    assert not sc.exists("/a")
+    assert sc.read_text("/b") == "x"
+
+
+def test_rename_preserves_inode(sc):
+    sc.write_text("/a", "x")
+    ino = sc.stat("/a").ino
+    sc.rename("/a", "/b")
+    assert sc.stat("/b").ino == ino
+
+
+def test_rename_into_other_dir(sc):
+    sc.mkdir("/d")
+    sc.write_text("/f", "x")
+    sc.rename("/f", "/d/f")
+    assert sc.read_text("/d/f") == "x"
+
+
+def test_rename_replaces_existing_file(sc):
+    sc.write_text("/a", "new")
+    sc.write_text("/b", "old")
+    sc.rename("/a", "/b")
+    assert sc.read_text("/b") == "new"
+
+
+def test_rename_dir_over_empty_dir(sc):
+    sc.mkdir("/src")
+    sc.write_text("/src/f", "x")
+    sc.mkdir("/dst")
+    sc.rename("/src", "/dst")
+    assert sc.read_text("/dst/f") == "x"
+
+
+def test_rename_dir_over_nonempty_dir_fails(sc):
+    sc.mkdir("/src")
+    sc.mkdir("/dst")
+    sc.write_text("/dst/keep", "x")
+    with pytest.raises(DirectoryNotEmpty):
+        sc.rename("/src", "/dst")
+
+
+def test_rename_file_over_dir_fails(sc):
+    sc.write_text("/f", "x")
+    sc.mkdir("/d")
+    with pytest.raises(IsADirectory):
+        sc.rename("/f", "/d")
+
+
+def test_rename_dir_over_file_fails(sc):
+    sc.mkdir("/d")
+    sc.write_text("/f", "x")
+    with pytest.raises(NotADirectory):
+        sc.rename("/d", "/f")
+
+
+def test_rename_into_own_subtree_fails(sc):
+    sc.makedirs("/d/sub")
+    with pytest.raises(InvalidArgument):
+        sc.rename("/d", "/d/sub/moved")
+
+
+def test_rename_to_self_is_noop(sc):
+    sc.write_text("/f", "x")
+    sc.rename("/f", "/f")
+    assert sc.read_text("/f") == "x"
+
+
+def test_rename_across_filesystems_fails(sc):
+    sc.mkdir("/other")
+    sc.mount("/other", MemFs(), source="tmpfs2")
+    sc.write_text("/f", "x")
+    with pytest.raises(CrossDevice):
+        sc.rename("/f", "/other/f")
+
+
+def test_rename_missing_source(sc):
+    from repro.vfs import FileNotFound
+
+    with pytest.raises(FileNotFound):
+        sc.rename("/missing", "/anywhere")
+
+
+def test_hard_link_shares_content(sc):
+    sc.write_text("/a", "shared")
+    sc.link("/a", "/b")
+    sc.write_text("/a", "updated")
+    assert sc.read_text("/b") == "updated"
+    assert sc.stat("/a").ino == sc.stat("/b").ino
+
+
+def test_hard_link_nlink_counting(sc):
+    sc.write_text("/a", "x")
+    assert sc.stat("/a").nlink == 1
+    sc.link("/a", "/b")
+    assert sc.stat("/a").nlink == 2
+    sc.unlink("/a")
+    assert sc.stat("/b").nlink == 1
+    assert sc.read_text("/b") == "x"
+
+
+def test_hard_link_to_directory_rejected(sc):
+    sc.mkdir("/d")
+    with pytest.raises(NotPermitted):
+        sc.link("/d", "/d2")
+
+
+def test_hard_link_existing_target_rejected(sc):
+    sc.write_text("/a", "x")
+    sc.write_text("/b", "y")
+    with pytest.raises(FileExists):
+        sc.link("/a", "/b")
+
+
+def test_hard_link_across_filesystems_rejected(sc):
+    sc.mkdir("/other")
+    sc.mount("/other", MemFs())
+    sc.write_text("/f", "x")
+    with pytest.raises(CrossDevice):
+        sc.link("/f", "/other/f")
+
+
+def test_rename_directory_updates_paths(sc):
+    sc.makedirs("/old/nested")
+    sc.write_text("/old/nested/f", "deep")
+    sc.rename("/old", "/new")
+    assert sc.read_text("/new/nested/f") == "deep"
+    assert not sc.exists("/old")

@@ -1,0 +1,69 @@
+"""The match-intersection algebra behind slicing."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.dataplane import Match
+from repro.netpkt import MacAddress, cidr, ip
+from repro.netpkt.packet import FlowKey
+from repro.views import admits, intersect
+
+
+def test_intersect_disjoint_fields_unions():
+    merged = intersect(Match(tp_dst=22), Match(dl_type=0x800, nw_proto=6))
+    assert merged == Match(dl_type=0x800, nw_proto=6, tp_dst=22)
+
+
+def test_intersect_equal_values_keep():
+    assert intersect(Match(tp_dst=22), Match(tp_dst=22)) == Match(tp_dst=22)
+
+
+def test_intersect_conflicting_values_empty():
+    assert intersect(Match(tp_dst=22), Match(tp_dst=80)) is None
+    assert not admits(Match(tp_dst=80), Match(tp_dst=22))
+
+
+def test_intersect_cidr_narrower_wins():
+    merged = intersect(Match(nw_dst=cidr("10.0.1.0/24")), Match(nw_dst=cidr("10.0.0.0/16")))
+    assert merged is not None and merged.nw_dst == cidr("10.0.1.0/24")
+    # and symmetrically
+    merged2 = intersect(Match(nw_dst=cidr("10.0.0.0/16")), Match(nw_dst=cidr("10.0.1.0/24")))
+    assert merged2 is not None and merged2.nw_dst == cidr("10.0.1.0/24")
+
+
+def test_intersect_disjoint_cidrs_empty():
+    assert intersect(Match(nw_src=cidr("10.0.0.0/24")), Match(nw_src=cidr("10.1.0.0/24"))) is None
+
+
+def test_intersect_wildcard_identity():
+    rich = Match(dl_type=0x800, tp_dst=22, nw_proto=6)
+    assert intersect(rich, Match()) == rich
+    assert intersect(Match(), rich) == rich
+
+
+@given(
+    tenant_port=st.one_of(st.none(), st.sampled_from([22, 80])),
+    slice_port=st.one_of(st.none(), st.sampled_from([22, 80])),
+    probe_port=st.sampled_from([22, 80, 443]),
+)
+def test_intersection_semantics_property(tenant_port, slice_port, probe_port):
+    """A packet matches the intersection iff it matches both operands."""
+    tenant = Match(tp_dst=tenant_port)
+    headerspace = Match(tp_dst=slice_port)
+    merged = intersect(tenant, headerspace)
+    key = FlowKey(
+        dl_src=MacAddress(1),
+        dl_dst=MacAddress(2),
+        dl_type=0x800,
+        nw_src=ip("10.0.0.1"),
+        nw_dst=ip("10.0.0.2"),
+        nw_proto=6,
+        nw_tos=0,
+        tp_src=1,
+        tp_dst=probe_port,
+    )
+    both = tenant.matches(key, 1) and headerspace.matches(key, 1)
+    if merged is None:
+        assert not both
+    else:
+        assert merged.matches(key, 1) == both

@@ -1,0 +1,84 @@
+"""YancClient path helpers and composite operations."""
+
+import pytest
+
+from repro.dataplane import Match, Output
+from repro.yancfs import YancClient
+
+
+def test_path_helpers(yc):
+    assert yc.switch_path("sw1") == "/net/switches/sw1"
+    assert yc.flow_path("sw1", "f") == "/net/switches/sw1/flows/f"
+    assert yc.port_path("sw1", 3) == "/net/switches/sw1/ports/port_3"
+    assert yc.port_path("sw1", "port_3") == "/net/switches/sw1/ports/port_3"
+    assert yc.events_path("sw1", "app") == "/net/switches/sw1/events/app"
+
+
+def test_view_path_nesting(yc):
+    assert yc.view_path("a") == "/net/views/a"
+    assert yc.view_path("a", "b") == "/net/views/a/views/b"
+    nested = yc.in_view("a", "b")
+    assert nested.root == "/net/views/a/views/b"
+    assert nested.switch_path("sw1") == "/net/views/a/views/b/switches/sw1"
+
+
+def test_in_view_client_operates_in_subtree(yc):
+    yc.create_view("outer")
+    inner_client = yc.in_view("outer").create_view("inner")
+    assert inner_client.root == "/net/views/outer/views/inner"
+    assert yc.sc.exists("/net/views/outer/views/inner/switches")
+
+
+def test_custom_root_normalization(yanc_sc):
+    client = YancClient(yanc_sc, "/net/")
+    assert client.root == "/net"
+
+
+def test_switch_dpid_default_zero(yc):
+    yc.create_switch("sw-nodpid")
+    assert yc.switch_dpid("sw-nodpid") == 0
+
+
+def test_create_flow_without_optional_fields(yc):
+    yc.create_switch("sw1")
+    yc.create_flow("sw1", "bare", Match(dl_type=0x800), [Output(1)])
+    spec = yc.read_flow("sw1", "bare")
+    assert spec.priority == 0x8000  # OpenFlow default
+    assert spec.idle_timeout == 0.0
+    assert spec.hard_timeout == 0.0
+    files = yc.sc.listdir(yc.flow_path("sw1", "bare"))
+    assert "priority" not in files  # optional attributes stay absent
+
+
+def test_hosts_roundtrip(yc):
+    yc.create_host("h1", mac="02:00:00:00:00:01", ip_addr="10.0.0.1", attached_to="sw1:2")
+    assert yc.hosts() == ["h1"]
+    assert yc.sc.read_text("/net/hosts/h1/attached_to") == "sw1:2"
+
+
+def test_flow_counters_missing_flow_raises(yc):
+    yc.create_switch("sw1")
+    from repro.vfs import FileNotFound
+
+    with pytest.raises(FileNotFound):
+        yc.flow_counters("sw1", "ghost")
+
+
+def test_packet_out_tokens(yc):
+    yc.create_switch("sw1")
+    path = yc.packet_out("sw1", [3, "flood"], b"frame", in_port=2, buffer_id=9, tag="me")
+    name = path.rsplit("/", 1)[-1]
+    assert name.startswith("p3.flood.in2.b9.me.")
+    assert yc.sc.read_bytes(path) == b"frame"
+
+
+def test_read_events_skips_nothing_on_empty(yc):
+    yc.create_switch("sw1")
+    yc.subscribe_events("sw1", "app")
+    assert yc.read_events("sw1", "app") == []
+
+
+def test_commit_flow_on_fresh_dir(yc):
+    yc.create_switch("sw1")
+    yc.sc.mkdir(yc.flow_path("sw1", "manual"))
+    assert yc.commit_flow("sw1", "manual") == 1

