@@ -1,0 +1,51 @@
+"""The yanclint command line: ``python -m repro.analysis [paths...]``."""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.analysis.core import Severity, all_rules
+from repro.analysis.runner import analyze_paths, exit_code, format_findings
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="yanclint",
+        description="Static invariant checker for the yanc reproduction (determinism, "
+        "vfs-bypass, error-discipline, schema coverage, hygiene).",
+    )
+    parser.add_argument("paths", nargs="*", default=["src", "tests", "examples"], help="files or directories to analyze")
+    parser.add_argument("--select", help="comma-separated rule ids to run (default: all)")
+    parser.add_argument("--ignore", help="comma-separated rule ids to skip")
+    parser.add_argument("--list-rules", action="store_true", help="print the rule registry and exit")
+    parser.add_argument("--format", choices=("text", "json"), default="text", help="diagnostic output format")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.list_rules:
+        for rule_id, rule in sorted(all_rules().items()):
+            print(f"{rule_id:<18} {rule.severity.label:<8} {rule.description}")
+        return 0
+    select = set(args.select.split(",")) if args.select else None
+    ignore = set(args.ignore.split(",")) if args.ignore else None
+    known = set(all_rules())
+    unknown = ((select or set()) | (ignore or set())) - known
+    if unknown:
+        print(f"yanclint: unknown rule(s): {', '.join(sorted(unknown))}", file=sys.stderr)
+        print(f"yanclint: known rules: {', '.join(sorted(known))}", file=sys.stderr)
+        return 2
+    findings = analyze_paths(list(args.paths), select=select, ignore=ignore)
+    if args.format == "json":
+        print(json.dumps([f.__dict__ | {"severity": f.severity.label} for f in findings], indent=2))
+    else:
+        print(format_findings(findings))
+    return exit_code(findings)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

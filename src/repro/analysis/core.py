@@ -1,0 +1,185 @@
+"""yanclint core: findings, rules, source files, and suppressions.
+
+A rule examines one :class:`SourceFile` (or, for cross-module rules, the
+whole project) and yields :class:`Finding` records.  Suppressions are
+in-source comments:
+
+* ``# yanclint: disable=<rule>[,<rule>...]`` on the flagged line silences
+  those rules for that line (``disable=all`` silences everything);
+* ``# yanclint: disable-file=<rule>`` anywhere silences a rule for the
+  whole file;
+* ``# yanclint: scope=<app|example|vfs|clock>`` declares the file's scope
+  explicitly, overriding the path-derived default (used by test fixtures
+  that live outside the real ``apps/``/``vfs/`` trees).
+"""
+
+from __future__ import annotations
+
+import ast
+import enum
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+_DISABLE_RE = re.compile(r"#\s*yanclint:\s*disable=([\w,\-]+)")
+_DISABLE_FILE_RE = re.compile(r"#\s*yanclint:\s*disable-file=([\w,\-]+)")
+_SCOPE_RE = re.compile(r"#\s*yanclint:\s*scope=([\w\-]+)")
+
+
+class Severity(enum.IntEnum):
+    """Finding severity; the CLI exit code trips at WARNING and above."""
+
+    INFO = 10
+    WARNING = 20
+    ERROR = 30
+
+    @property
+    def label(self) -> str:
+        """Lower-case name for diagnostics."""
+        return self.name.lower()
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic: ``path:line:col: severity [rule] message``."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    severity: Severity
+    message: str
+
+    def format(self) -> str:
+        """Render the canonical single-line diagnostic."""
+        return f"{self.path}:{self.line}:{self.col}: {self.severity.label} [{self.rule}] {self.message}"
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.rule)
+
+
+@dataclass
+class SourceFile:
+    """A parsed module plus everything rules need to judge it."""
+
+    path: str
+    text: str
+    tree: ast.Module
+    scopes: set[str] = field(default_factory=set)
+    line_disables: dict[int, set[str]] = field(default_factory=dict)
+    file_disables: set[str] = field(default_factory=set)
+
+    @classmethod
+    def parse(cls, path: str, text: str) -> "SourceFile":
+        """Parse ``text``; raises SyntaxError for the loader to report."""
+        tree = ast.parse(text, filename=path)
+        src = cls(path=path, text=text, tree=tree)
+        src._scan_comments()
+        src.scopes |= scopes_from_path(path)
+        return src
+
+    def _scan_comments(self) -> None:
+        for lineno, line in enumerate(self.text.splitlines(), start=1):
+            if "#" not in line:
+                continue
+            for match in _DISABLE_RE.finditer(line):
+                self.line_disables.setdefault(lineno, set()).update(match.group(1).split(","))
+            for match in _DISABLE_FILE_RE.finditer(line):
+                self.file_disables.update(match.group(1).split(","))
+            for match in _SCOPE_RE.finditer(line):
+                self.scopes.add(match.group(1))
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        """True when ``rule`` is disabled for ``line`` (or the whole file)."""
+        if "all" in self.file_disables or rule in self.file_disables:
+            return True
+        disabled = self.line_disables.get(line, ())
+        return "all" in disabled or rule in disabled
+
+
+def scopes_from_path(path: str) -> set[str]:
+    """Derive rule scopes from where a file lives.
+
+    * ``app``     — application-side code (src ``apps/`` and ``shell/``):
+      may only reach the network through file I/O;
+    * ``example`` — ``examples/`` scripts: may build the simulated hardware
+      but must not bypass the file interface to *control* it;
+    * ``vfs``     — ``vfs/`` and ``yancfs/``: raises must be typed;
+    * ``clock``   — ``sim/clock.py``: the one legitimate time source.
+
+    Paths under a ``tests`` or ``fixtures`` segment get no implicit scope
+    (fixtures opt in with ``# yanclint: scope=...``).
+    """
+    parts = path.replace("\\", "/").split("/")
+    segments = [p for p in parts if p not in ("", ".")]
+    if "tests" in segments or "fixtures" in segments:
+        return set()
+    scopes: set[str] = set()
+    if "apps" in segments or "shell" in segments:
+        scopes.add("app")
+    if "examples" in segments:
+        scopes.add("example")
+    if "vfs" in segments or "yancfs" in segments:
+        scopes.add("vfs")
+    if len(segments) >= 2 and segments[-2] == "sim" and segments[-1] == "clock.py":
+        scopes.add("clock")
+    return scopes
+
+
+class Rule:
+    """Base class: one per-file check.
+
+    Subclasses set ``id``, ``severity``, ``description`` and implement
+    :meth:`check`.  Cross-module rules subclass :class:`ProjectRule`.
+    """
+
+    id: str = ""
+    severity: Severity = Severity.ERROR
+    description: str = ""
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        """Yield findings for one source file."""
+        raise NotImplementedError
+
+    def finding(self, src: SourceFile, node: ast.AST, message: str) -> Finding:
+        """Build a finding anchored at ``node``."""
+        return Finding(
+            path=src.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=self.id,
+            severity=self.severity,
+            message=message,
+        )
+
+
+class ProjectRule(Rule):
+    """A rule that judges the project as a whole, not one file."""
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, files: Iterable[SourceFile]) -> Iterator[Finding]:
+        """Yield findings spanning modules."""
+        raise NotImplementedError
+
+
+_REGISTRY: dict[str, Rule] = {}
+
+
+def register(rule: Rule) -> Rule:
+    """Add a rule instance to the global registry (id must be unique)."""
+    if not rule.id:
+        raise ValueError("rule needs an id")
+    if rule.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule.id!r}")
+    _REGISTRY[rule.id] = rule
+    return rule
+
+
+def all_rules() -> dict[str, Rule]:
+    """The registry, importing the built-in rule modules on first use."""
+    # Imported lazily so `core` stays dependency-free for the sanitizer.
+    from repro.analysis import determinism, errordiscipline, hygiene, schemacoverage, vfsbypass  # noqa: F401
+
+    return dict(_REGISTRY)

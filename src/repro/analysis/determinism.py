@@ -1,0 +1,131 @@
+"""Rule ``determinism``: no wall clock, no unseeded randomness.
+
+DESIGN.md promises a "faithful, deterministic in-process substrate": two
+runs with the same seed must produce identical event orders, timestamps,
+and counters.  One ``time.time()`` in a daemon or one module-level
+``random.random()`` silently breaks that.  The only legitimate time source
+is the simulator clock (``sim/clock.py``, scope ``clock``); randomness must
+flow through an explicitly seeded ``random.Random(seed)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, Rule, Severity, SourceFile, register
+
+#: time-module attributes that read the wall clock (or block on it).
+_TIME_ATTRS = {"time", "time_ns", "monotonic", "monotonic_ns", "perf_counter", "perf_counter_ns", "sleep"}
+
+#: datetime attributes that capture "now".
+_DATETIME_ATTRS = {"now", "utcnow", "today"}
+
+#: module-level random functions that draw from the shared, unseeded RNG.
+_RANDOM_ATTRS = {
+    "random",
+    "randint",
+    "randrange",
+    "randbytes",
+    "choice",
+    "choices",
+    "shuffle",
+    "sample",
+    "uniform",
+    "triangular",
+    "betavariate",
+    "expovariate",
+    "gauss",
+    "normalvariate",
+    "getrandbits",
+    "seed",
+}
+
+
+class DeterminismRule(Rule):
+    id = "determinism"
+    severity = Severity.ERROR
+    description = (
+        "wall-clock time and unseeded randomness are forbidden outside sim/clock.py; "
+        "use the Simulator clock and random.Random(seed)"
+    )
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        if "clock" in src.scopes:
+            return
+        time_aliases: set[str] = set()
+        datetime_mod_aliases: set[str] = set()
+        datetime_cls_aliases: set[str] = set()
+        random_aliases: set[str] = set()
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    name = alias.asname or alias.name
+                    if alias.name == "time":
+                        time_aliases.add(name)
+                    elif alias.name == "datetime":
+                        datetime_mod_aliases.add(name)
+                    elif alias.name == "random":
+                        random_aliases.add(name)
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                yield from self._check_from_import(src, node, datetime_cls_aliases)
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            root = _attr_root(node)
+            if root in time_aliases and node.attr in _TIME_ATTRS:
+                yield self.finding(src, node, f"time.{node.attr} reads the wall clock; use the Simulator clock (sim.now)")
+            elif node.attr in _DATETIME_ATTRS and self._is_datetime(node, datetime_mod_aliases, datetime_cls_aliases):
+                yield self.finding(src, node, f"datetime.{node.attr}() captures wall-clock time; derive timestamps from sim.now")
+            elif root in random_aliases and node.attr in _RANDOM_ATTRS:
+                yield self.finding(src, node, f"random.{node.attr} uses the shared unseeded RNG; use random.Random(seed)")
+            elif root in random_aliases and node.attr == "SystemRandom":
+                yield self.finding(src, node, "random.SystemRandom is nondeterministic by design; use random.Random(seed)")
+            elif root in random_aliases and node.attr == "Random":
+                call = _enclosing_call(src.tree, node)
+                if call is not None and not call.args and not call.keywords:
+                    yield self.finding(src, node, "random.Random() without a seed is nondeterministic; pass an explicit seed")
+
+    def _check_from_import(self, src: SourceFile, node: ast.ImportFrom, datetime_cls: set[str]) -> Iterator[Finding]:
+        if node.module == "time":
+            for alias in node.names:
+                if alias.name in _TIME_ATTRS:
+                    yield self.finding(src, node, f"from time import {alias.name}: wall clock is forbidden; use the Simulator clock")
+        elif node.module == "datetime":
+            for alias in node.names:
+                if alias.name in ("datetime", "date"):
+                    datetime_cls.add(alias.asname or alias.name)
+        elif node.module == "random":
+            for alias in node.names:
+                if alias.name in _RANDOM_ATTRS or alias.name == "SystemRandom":
+                    yield self.finding(src, node, f"from random import {alias.name}: unseeded RNG is forbidden; use random.Random(seed)")
+
+    @staticmethod
+    def _is_datetime(node: ast.Attribute, mod_aliases: set[str], cls_aliases: set[str]) -> bool:
+        value = node.value
+        if isinstance(value, ast.Name) and value.id in cls_aliases:
+            return True
+        if (
+            isinstance(value, ast.Attribute)
+            and value.attr in ("datetime", "date")
+            and isinstance(value.value, ast.Name)
+            and value.value.id in mod_aliases
+        ):
+            return True
+        return False
+
+
+def _attr_root(node: ast.Attribute) -> str | None:
+    if isinstance(node.value, ast.Name):
+        return node.value.id
+    return None
+
+
+def _enclosing_call(tree: ast.Module, attr: ast.Attribute) -> ast.Call | None:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call) and node.func is attr:
+            return node
+    return None
+
+
+register(DeterminismRule())

@@ -1,0 +1,124 @@
+"""Rule ``error-discipline``: typed errors in the kernel, no silent swallows.
+
+Applications are "written exactly like their C counterparts" (vfs/errors.py)
+— they catch ``FileNotFound`` instead of checking errno.  That contract only
+holds if everything under ``vfs/`` and ``yancfs/`` raises the typed
+:mod:`repro.vfs.errors` hierarchy, so inside scope ``vfs`` any other raise
+is an error.
+
+Everywhere, a bare ``except:`` or an ``except Exception:`` that neither
+re-raises nor *uses* the caught exception (binds it and reads it — e.g. to
+record it, as ``proc/cron.py`` does for failure isolation) is an error:
+that is how ``except Exception: pass`` silently ate cron failures.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, Rule, Severity, SourceFile, register
+
+
+def _typed_error_names() -> frozenset[str]:
+    """Exception class names exported by repro.vfs.errors."""
+    try:
+        from repro.vfs import errors as errors_mod
+    except ImportError:  # analyzing from an environment without repro on the path
+        return frozenset()
+    names = set()
+    for name, obj in vars(errors_mod).items():
+        if isinstance(obj, type) and issubclass(obj, BaseException):
+            names.add(name)
+    return frozenset(names)
+
+
+_BROAD = {"Exception", "BaseException"}
+
+
+def _exception_types(handler: ast.ExceptHandler) -> list[ast.expr]:
+    if handler.type is None:
+        return []
+    if isinstance(handler.type, ast.Tuple):
+        return list(handler.type.elts)
+    return [handler.type]
+
+
+def _is_broad(expr: ast.expr) -> bool:
+    return isinstance(expr, ast.Name) and expr.id in _BROAD
+
+
+def _handler_reraises(handler: ast.ExceptHandler) -> bool:
+    return any(isinstance(node, ast.Raise) for stmt in handler.body for node in ast.walk(stmt))
+
+
+def _handler_uses_binding(handler: ast.ExceptHandler) -> bool:
+    if handler.name is None:
+        return False
+    for stmt in handler.body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Name) and node.id == handler.name and isinstance(node.ctx, ast.Load):
+                return True
+    return False
+
+
+class ErrorDisciplineRule(Rule):
+    id = "error-discipline"
+    severity = Severity.ERROR
+    description = (
+        "vfs/ and yancfs/ raise only typed repro.vfs.errors exceptions; broad/bare "
+        "except clauses must re-raise or record the caught exception"
+    )
+
+    def __init__(self) -> None:
+        self._typed = _typed_error_names()
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        in_vfs = "vfs" in src.scopes
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.ExceptHandler):
+                yield from self._check_handler(src, node)
+            elif in_vfs and isinstance(node, ast.Raise):
+                yield from self._check_raise(src, node)
+
+    def _check_handler(self, src: SourceFile, handler: ast.ExceptHandler) -> Iterator[Finding]:
+        types = _exception_types(handler)
+        if handler.type is None:
+            yield self.finding(src, handler, "bare except: swallows everything, including KeyboardInterrupt; catch a typed exception")
+            return
+        if not any(_is_broad(t) for t in types):
+            return
+        if _handler_reraises(handler) or _handler_uses_binding(handler):
+            return
+        yield self.finding(
+            src,
+            handler,
+            "broad except Exception without re-raise silently swallows failures; "
+            "re-raise, catch a typed exception, or bind the error and record it",
+        )
+
+    def _check_raise(self, src: SourceFile, node: ast.Raise) -> Iterator[Finding]:
+        exc = node.exc
+        if exc is None:  # bare re-raise
+            return
+        if isinstance(exc, ast.Name):  # re-raising a bound variable
+            return
+        if not isinstance(exc, ast.Call):
+            return
+        func = exc.func
+        if isinstance(func, ast.Attribute):
+            name = func.attr
+        elif isinstance(func, ast.Name):
+            name = func.id
+        else:
+            return
+        if self._typed and name not in self._typed:
+            yield self.finding(
+                src,
+                node,
+                f"raise {name}(...) inside vfs/yancfs: use a typed repro.vfs.errors exception "
+                "so applications can catch by errno class",
+            )
+
+
+register(ErrorDisciplineRule())

@@ -1,0 +1,127 @@
+"""Generic hygiene rules: mutable default arguments and shadowed builtins.
+
+Not repo-specific, but both bite this codebase's patterns hard: a mutable
+default on a daemon constructor aliases state across controller instances,
+and shadowing ``open``/``id``/``type`` in file-system code is a readability
+hazard when the real builtins appear two lines later.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, Rule, Severity, SourceFile, register
+
+_MUTABLE_CALLS = {"list", "dict", "set", "bytearray", "defaultdict", "deque", "Counter", "OrderedDict"}
+
+#: Builtins whose shadowing is flagged.  Deliberately not every builtin:
+#: short loop-variable conventions (``min``/``max`` never appear as names
+#: here) would drown the signal.
+_SHADOWED = {
+    "list",
+    "dict",
+    "set",
+    "tuple",
+    "type",
+    "str",
+    "int",
+    "float",
+    "bytes",
+    "bool",
+    "object",
+    "open",
+    "id",
+    "input",
+    "map",
+    "filter",
+    "sum",
+    "len",
+    "range",
+    "print",
+    "next",
+    "iter",
+    "hash",
+    "vars",
+    "format",
+    "property",
+    "dir",
+}
+
+
+class MutableDefaultRule(Rule):
+    id = "mutable-default"
+    severity = Severity.WARNING
+    description = "mutable default argument values alias state across calls; default to None"
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        for node in ast.walk(src.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                args = node.args
+                for default in list(args.defaults) + [d for d in args.kw_defaults if d is not None]:
+                    if self._is_mutable(default):
+                        name = getattr(node, "name", "<lambda>")
+                        yield self.finding(src, default, f"mutable default argument in {name}(); use None and fill in inside")
+
+    @staticmethod
+    def _is_mutable(node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in _MUTABLE_CALLS:
+                return True
+            if isinstance(func, ast.Attribute) and func.attr in _MUTABLE_CALLS:
+                return True
+        return False
+
+
+class ShadowBuiltinRule(Rule):
+    id = "shadow-builtin"
+    severity = Severity.WARNING
+    description = "binding a name that shadows a Python builtin invites confusing bugs"
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        # Class attributes and methods named `open`/`id`/`format` are
+        # idiomatic (Syscalls.open *is* open(2)); only bare-name bindings
+        # that actually occlude the builtin are flagged.
+        class_body: set[int] = set()
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.ClassDef):
+                class_body.update(id(stmt) for stmt in node.body)
+        for node in ast.walk(src.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                if node.name in _SHADOWED and id(node) not in class_body:
+                    yield self.finding(src, node, f"definition of {node.name!r} shadows the builtin")
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield from self._check_args(src, node)
+            elif isinstance(node, ast.Assign):
+                if id(node) in class_body:
+                    continue
+                for target in node.targets:
+                    yield from self._check_target(src, target)
+            elif isinstance(node, (ast.For, ast.comprehension)):
+                target = node.target
+                yield from self._check_target(src, target)
+
+    def _check_args(self, src: SourceFile, node: ast.FunctionDef | ast.AsyncFunctionDef) -> Iterator[Finding]:
+        args = node.args
+        every = list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        if args.vararg:
+            every.append(args.vararg)
+        if args.kwarg:
+            every.append(args.kwarg)
+        for arg in every:
+            if arg.arg in _SHADOWED:
+                yield self.finding(src, arg, f"argument {arg.arg!r} shadows the builtin")
+
+    def _check_target(self, src: SourceFile, target: ast.expr) -> Iterator[Finding]:
+        if isinstance(target, ast.Name) and target.id in _SHADOWED:
+            yield self.finding(src, target, f"assignment to {target.id!r} shadows the builtin")
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                yield from self._check_target(src, elt)
+
+
+register(MutableDefaultRule())
+register(ShadowBuiltinRule())

@@ -1,0 +1,67 @@
+"""yanclint orchestration: run rules over files, filter, sort, format."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.analysis.core import Finding, ProjectRule, Severity, SourceFile, all_rules
+from repro.analysis.loader import load_files
+
+
+def analyze_sources(
+    sources: Iterable[SourceFile],
+    *,
+    select: set[str] | None = None,
+    ignore: set[str] | None = None,
+) -> list[Finding]:
+    """Run every (selected) rule over parsed sources; returns sorted findings."""
+    sources = list(sources)
+    findings: list[Finding] = []
+    for rule_id, rule in all_rules().items():
+        if select is not None and rule_id not in select:
+            continue
+        if ignore is not None and rule_id in ignore:
+            continue
+        if isinstance(rule, ProjectRule):
+            findings.extend(rule.check_project(sources))
+        else:
+            for src in sources:
+                findings.extend(rule.check(src))
+    by_path = {src.path: src for src in sources}
+    kept = []
+    for finding in findings:
+        src = by_path.get(finding.path)
+        if src is not None and src.is_suppressed(finding.rule, finding.line):
+            continue
+        kept.append(finding)
+    kept.sort(key=Finding.sort_key)
+    return kept
+
+
+def analyze_paths(
+    paths: list[str],
+    *,
+    select: set[str] | None = None,
+    ignore: set[str] | None = None,
+) -> list[Finding]:
+    """Collect, parse, and analyze ``paths`` (files or directories)."""
+    sources, parse_findings = load_files(paths)
+    findings = analyze_sources(sources, select=select, ignore=ignore)
+    return sorted(parse_findings + findings, key=Finding.sort_key)
+
+
+def format_findings(findings: list[Finding]) -> str:
+    """Human-readable diagnostics plus a one-line summary."""
+    lines = [f.format() for f in findings]
+    errors = sum(1 for f in findings if f.severity >= Severity.ERROR)
+    warnings = sum(1 for f in findings if f.severity == Severity.WARNING)
+    if findings:
+        lines.append(f"yanclint: {len(findings)} finding(s) ({errors} error(s), {warnings} warning(s))")
+    else:
+        lines.append("yanclint: clean")
+    return "\n".join(lines)
+
+
+def exit_code(findings: list[Finding]) -> int:
+    """Nonzero when any finding is at WARNING severity or above."""
+    return 1 if any(f.severity >= Severity.WARNING for f in findings) else 0

@@ -1,0 +1,145 @@
+"""Rule ``schema-coverage``: every yancfs attribute file has a validator.
+
+The yanc tree "never holds an unparseable configuration" (yancfs/validate)
+— but only for files that actually *carry* a validator.  This cross-module
+rule instantiates the real schema (a throwaway in-memory tree with one
+switch, port, and flow), walks every populated :class:`AttributeFile`, and
+demands each one either has a validator or is explicitly registered as
+free-form in ``validate.FREE_FORM_ATTRIBUTES``.  It also checks the flow
+vocabulary: every ``match.<field>`` from ``MATCH_FIELD_NAMES`` and every
+core flow attribute must resolve through ``flow_file_validator``.
+
+Findings anchor to the declaration site in ``yancfs/schema.py``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from repro.analysis.core import Finding, ProjectRule, Severity, SourceFile, register
+
+#: Flow attribute files the commit protocol depends on (§3.4, figure 3).
+_REQUIRED_FLOW_ATTRS = ("priority", "timeout", "idle_timeout", "hard_timeout", "cookie", "version")
+
+
+class SchemaCoverageRule(ProjectRule):
+    id = "schema-coverage"
+    severity = Severity.ERROR
+    description = (
+        "every attribute file declared by yancfs/schema.py must have a validator in "
+        "yancfs/validate.py (or be registered in FREE_FORM_ATTRIBUTES)"
+    )
+
+    def check_project(self, files: Iterable[SourceFile]) -> Iterator[Finding]:
+        try:
+            from repro.vfs.inode import DirInode, Inode
+            from repro.vfs.syscalls import Syscalls
+            from repro.vfs.vfs import VirtualFileSystem
+            from repro.yancfs import validate
+            from repro.yancfs.client import mount_yancfs
+            from repro.yancfs.schema import AttributeFile
+        except ImportError as exc:
+            yield Finding("repro/yancfs/schema.py", 1, 1, self.id, self.severity, f"cannot import yancfs to check coverage: {exc}")
+            return
+
+        free_form = getattr(validate, "FREE_FORM_ATTRIBUTES", frozenset())
+        schema_path, schema_lines = _schema_source()
+
+        sc = Syscalls(VirtualFileSystem())
+        mount_yancfs(sc)
+        sc.mkdir("/net/switches/s1")
+        sc.mkdir("/net/switches/s1/ports/port_1")
+        sc.mkdir("/net/switches/s1/flows/probe")
+        switch = sc.vfs.resolve(sc.ns, sc.cred, "/net/switches/s1")
+
+        seen: set[str] = set()
+        for name, node in _walk_inodes(switch, DirInode, Inode):
+            if not isinstance(node, AttributeFile) or node.validator is not None:
+                continue
+            if name in free_form:
+                continue
+            if name in seen:
+                continue
+            seen.add(name)
+            yield Finding(
+                path=schema_path,
+                line=_line_of(schema_lines, name),
+                col=1,
+                rule=self.id,
+                severity=self.severity,
+                message=(
+                    f"attribute file {name!r} is created without a validator and is not in "
+                    "validate.FREE_FORM_ATTRIBUTES; writes to it skip close-time validation"
+                ),
+            )
+
+        yield from self._check_flow_vocabulary(validate, schema_path, schema_lines)
+
+    def _check_flow_vocabulary(self, validate, schema_path: str, schema_lines: list[str]) -> Iterator[Finding]:
+        from repro.dataplane.match import MATCH_FIELD_NAMES
+        from repro.vfs.errors import InvalidArgument
+
+        for attr in _REQUIRED_FLOW_ATTRS:
+            if attr not in validate.FLOW_ATTRIBUTE_VALIDATORS:
+                yield Finding(
+                    path=schema_path,
+                    line=_line_of(schema_lines, attr),
+                    col=1,
+                    rule=self.id,
+                    severity=self.severity,
+                    message=f"flow attribute {attr!r} has no entry in FLOW_ATTRIBUTE_VALIDATORS",
+                )
+        for field in sorted(MATCH_FIELD_NAMES):
+            try:
+                checker = validate.flow_file_validator(f"match.{field}")
+            except InvalidArgument:
+                checker = None
+            if checker is None:
+                yield Finding(
+                    path=schema_path,
+                    line=_line_of(schema_lines, "match."),
+                    col=1,
+                    rule=self.id,
+                    severity=self.severity,
+                    message=f"match field {field!r} has no close-time validator via flow_file_validator",
+                )
+
+
+def _walk_inodes(root, dir_cls, inode_cls) -> Iterator[tuple[str, object]]:
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if not isinstance(node, dir_cls):
+            continue
+        for name, child in node.children():
+            if isinstance(child, dir_cls):
+                stack.append(child)
+            else:
+                yield name, child
+
+
+def _schema_source() -> tuple[str, list[str]]:
+    import os
+
+    from repro.yancfs import schema
+
+    path = getattr(schema, "__file__", "repro/yancfs/schema.py") or "repro/yancfs/schema.py"
+    rel = os.path.relpath(path)
+    if not rel.startswith(".."):
+        path = rel
+    try:
+        with open(path, encoding="utf-8") as fh:
+            return path, fh.read().splitlines()
+    except OSError:
+        return path, []
+
+
+def _line_of(lines: list[str], needle: str) -> int:
+    quoted = (f'"{needle}"', f"'{needle}'")
+    for lineno, line in enumerate(lines, start=1):
+        if any(q in line for q in quoted):
+            return lineno
+    return 1
+
+
+register(SchemaCoverageRule())

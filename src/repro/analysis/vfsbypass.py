@@ -1,0 +1,124 @@
+"""Rule ``vfs-bypass``: apps touch the network only through file I/O.
+
+The paper's whole point (§2, §5) is that the yanc tree *is* the controller
+API: applications, shells, and admin scripts interact with the network by
+reading and writing files through ``Syscalls``/``YancClient``.  Importing
+driver or dataplane internals — or mutating ``Inode`` objects directly —
+silently skips permission checks, validators, and inotify events (§5.2).
+
+Two scopes, both opt-in by path or ``# yanclint: scope=``:
+
+* ``app`` (``src/repro/apps``, ``src/repro/shell``): strict.  Only the
+  value vocabularies (``dataplane.match``/``dataplane.actions``,
+  ``netpkt``) and the file interface are allowed.
+* ``example`` (``examples/``): scripts legitimately *build* the simulated
+  hardware (topologies, links, drivers), but still must not reach around
+  the file interface to control it — no inode mutation, no OpenFlow codec
+  or schema-node imports.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, Rule, Severity, SourceFile, register
+
+#: Module prefixes application-side code must never import.
+_APP_FORBIDDEN = (
+    "repro.dataplane.switch",
+    "repro.dataplane.flowtable",
+    "repro.dataplane.network",
+    "repro.dataplane.link",
+    "repro.dataplane.host",
+    "repro.dataplane.topology",
+    "repro.openflow",
+    "repro.drivers",
+    "repro.controlchannel",
+    "repro.vfs.inode",
+    "repro.vfs.vfs",
+    "repro.vfs.memfs",
+    "repro.yancfs.schema",
+    "repro.libyanc",
+)
+
+#: Module prefixes example scripts must never import (control-path bypass).
+_EXAMPLE_FORBIDDEN = (
+    "repro.openflow.codec",
+    "repro.openflow.messages",
+    "repro.openflow.of10",
+    "repro.openflow.of13",
+    "repro.openflow.agent",
+    "repro.vfs.inode",
+    "repro.yancfs.schema",
+)
+
+#: Inode-mutation methods no application-side code may call.
+#: ``set_content`` is unique to FileInode and always flagged; ``attach``/
+#: ``detach`` are only flagged when the receiver *looks like* a tree node
+#: (other objects legitimately have attach()-style APIs, e.g. drivers).
+_MUTATION_ATTRS = {"set_content", "attach", "detach"}
+_NODE_HINTS = ("inode", "node", "root", "dentry", "parent_dir")
+
+
+def _receiver_is_nodeish(func: ast.Attribute) -> bool:
+    if func.attr == "set_content":
+        return True
+    receiver = func.value
+    name = ""
+    if isinstance(receiver, ast.Name):
+        name = receiver.id
+    elif isinstance(receiver, ast.Attribute):
+        name = receiver.attr
+    elif isinstance(receiver, ast.Call) and isinstance(receiver.func, ast.Attribute):
+        name = receiver.func.attr  # e.g. parent.lookup("x").attach(...)
+        if name == "lookup":
+            return True
+    lowered = name.lower()
+    return any(hint in lowered for hint in _NODE_HINTS)
+
+
+def _forbidden(module: str, prefixes: tuple[str, ...]) -> str | None:
+    for prefix in prefixes:
+        if module == prefix or module.startswith(prefix + "."):
+            return prefix
+    return None
+
+
+class VfsBypassRule(Rule):
+    id = "vfs-bypass"
+    severity = Severity.ERROR
+    description = (
+        "apps/, shell/, and examples/ must reach the network through Syscalls/YancClient "
+        "file I/O, never via dataplane/openflow internals or direct Inode mutation"
+    )
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        if "app" in src.scopes:
+            prefixes = _APP_FORBIDDEN
+        elif "example" in src.scopes:
+            prefixes = _EXAMPLE_FORBIDDEN
+        else:
+            return
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    hit = _forbidden(alias.name, prefixes)
+                    if hit is not None:
+                        yield self.finding(src, node, f"import of {alias.name} bypasses the file interface (forbidden: {hit})")
+            elif isinstance(node, ast.ImportFrom) and node.level == 0 and node.module:
+                hit = _forbidden(node.module, prefixes)
+                if hit is not None:
+                    names = ", ".join(a.name for a in node.names)
+                    yield self.finding(src, node, f"import of {names} from {node.module} bypasses the file interface (forbidden: {hit})")
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                if node.func.attr in _MUTATION_ATTRS and _receiver_is_nodeish(node.func):
+                    yield self.finding(
+                        src,
+                        node,
+                        f".{node.func.attr}() mutates an Inode directly, skipping validators and notify events; "
+                        "write through Syscalls instead",
+                    )
+
+
+register(VfsBypassRule())

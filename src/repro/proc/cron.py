@@ -10,7 +10,12 @@ from repro.sim import Simulator
 
 @dataclass
 class CronJob:
-    """One scheduled job."""
+    """One scheduled job.
+
+    ``last_error`` holds the exception raised by the most recent failed
+    run (None after a successful run), so operators can see *why* a job is
+    failing instead of just watching ``failures`` climb.
+    """
 
     name: str
     interval: float
@@ -18,6 +23,7 @@ class CronJob:
     runs: int = 0
     failures: int = 0
     last_run: float = -1.0
+    last_error: BaseException | None = None
     _task: object = field(default=None, repr=False)
 
 
@@ -53,8 +59,12 @@ class Cron:
         try:
             job.fn()
             job.runs += 1
-        except Exception:
+            job.last_error = None
+        except Exception as exc:
+            # Failure isolation: the job keeps its schedule, but the error
+            # is recorded, not swallowed.
             job.failures += 1
+            job.last_error = exc
 
     def stop(self) -> None:
         """Unschedule everything."""

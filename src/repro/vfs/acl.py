@@ -18,6 +18,7 @@ import enum
 from dataclasses import dataclass
 
 from repro.vfs.cred import Credentials
+from repro.vfs.errors import InvalidArgument
 
 
 class AclTag(enum.Enum):
@@ -41,12 +42,12 @@ class AclEntry:
 
     def __post_init__(self) -> None:
         if not 0 <= self.perms <= 7:
-            raise ValueError(f"ACL perms must be 0..7, got {self.perms}")
+            raise InvalidArgument(detail=f"ACL perms must be 0..7, got {self.perms}")
         needs_qualifier = self.tag in (AclTag.USER, AclTag.GROUP)
         if needs_qualifier and self.qualifier is None:
-            raise ValueError(f"{self.tag.value} entry requires a qualifier")
+            raise InvalidArgument(detail=f"{self.tag.value} entry requires a qualifier")
         if not needs_qualifier and self.qualifier is not None:
-            raise ValueError(f"{self.tag.value} entry takes no qualifier")
+            raise InvalidArgument(detail=f"{self.tag.value} entry takes no qualifier")
 
 
 @dataclass(frozen=True)
@@ -138,7 +139,7 @@ class Acl:
                 kind, qual_text, rwx = fields
                 qualifier = int(qual_text) if qual_text else None
             else:
-                raise ValueError(f"malformed ACL entry: {part!r}")
+                raise InvalidArgument(detail=f"malformed ACL entry: {part!r}")
             perms = 0
             for ch in rwx:
                 if ch == "r":
@@ -148,7 +149,7 @@ class Acl:
                 elif ch == "x":
                     perms |= 1
                 elif ch != "-":
-                    raise ValueError(f"bad permission char {ch!r} in {part!r}")
+                    raise InvalidArgument(detail=f"bad permission char {ch!r} in {part!r}")
             tag = {
                 ("u", True): AclTag.USER,
                 ("u", False): AclTag.USER_OBJ,
@@ -158,6 +159,6 @@ class Acl:
                 ("o", False): AclTag.OTHER,
             }.get((kind, qualifier is not None))
             if tag is None:
-                raise ValueError(f"malformed ACL entry: {part!r}")
+                raise InvalidArgument(detail=f"malformed ACL entry: {part!r}")
             entries.append(AclEntry(tag, perms, qualifier))
         return cls(entries=tuple(entries))

@@ -4,6 +4,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.vfs.errors import InvalidArgument
+
 
 @dataclass(frozen=True)
 class Credentials:
@@ -20,7 +22,7 @@ class Credentials:
 
     def __post_init__(self) -> None:
         if self.uid < 0 or self.gid < 0:
-            raise ValueError("uid/gid must be non-negative")
+            raise InvalidArgument(detail="uid/gid must be non-negative")
 
     @property
     def is_root(self) -> bool:

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
 from repro.vfs.cred import Credentials
-from repro.vfs.errors import NotPermitted
+from repro.vfs.errors import InvalidArgument, NotPermitted
 
 if TYPE_CHECKING:
     from repro.vfs.inode import Inode
@@ -73,7 +73,7 @@ class FanotifyGroup:
     def mark(self, inode: "Inode", mask: FanMask, *, subtree: bool = False) -> None:
         """Watch ``inode`` (or its whole subtree) for permission events."""
         if not mask:
-            raise ValueError("empty fanotify mask")
+            raise InvalidArgument(detail="empty fanotify mask")
         self._marks.append(_Mark(inode, mask, subtree))
 
     def close(self) -> None:

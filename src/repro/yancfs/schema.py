@@ -82,7 +82,7 @@ def _make_counters(fs: Filesystem, parent: DirInode, names: tuple[str, ...]) -> 
     counters = CountersDir(fs, mode=DEFAULT_DIR_MODE, uid=parent.uid, gid=parent.gid)
     parent.attach("counters", counters)
     for name in names:
-        _make_attr(fs, counters, name, "0")
+        _make_attr(fs, counters, name, "0", validator=validate.counter_value)
     return counters
 
 
@@ -145,7 +145,7 @@ class PortNode(ObjectDir):
         """Semantic mkdir: counters plus the standard config/status files."""
         _make_counters(self.fs, self, ("rx_packets", "tx_packets", "rx_bytes", "tx_bytes", "tx_dropped"))
         _make_attr(self.fs, self, "config.port_down", "0", validator=validate.boolean_flag)
-        _make_attr(self.fs, self, "config.port_status", "up")
+        _make_attr(self.fs, self, "config.port_status", "up", validator=validate.port_status)
         _make_attr(self.fs, self, "hw_addr", "00:00:00:00:00:00", validator=validate.mac_address)
         _make_attr(self.fs, self, "name", "")
 
@@ -220,7 +220,7 @@ class SwitchNode(ObjectDir):
         spool = PacketOutDir(self.fs, mode=0o777, uid=self.uid, gid=self.gid)
         self.attach("packet_out", spool)
         for name in SWITCH_ATTRIBUTE_FILES:
-            _make_attr(self.fs, self, name, "")
+            _make_attr(self.fs, self, name, "", validator=validate.SWITCH_ATTRIBUTE_VALIDATORS.get(name))
 
     def may_create(self, name: str, ftype: FileType, cred: Credentials) -> None:
         if ftype is FileType.SYMLINK:

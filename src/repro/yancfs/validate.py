@@ -45,6 +45,26 @@ def version_number(text: str) -> None:
     _int_in_range(0, 2**63 - 1)(text)
 
 
+def counter_value(text: str) -> None:
+    """Counter files: a non-negative integer (decimal or 0x-hex)."""
+    _int_in_range(0, 2**64 - 1)(text)
+
+
+def port_status(text: str) -> None:
+    """The ``config.port_status`` file: ``up`` or ``down``."""
+    value = text.strip()
+    if value not in ("up", "down", ""):
+        raise InvalidArgument(detail=f"port status must be 'up' or 'down', got {text!r}")
+
+
+def action_vocabulary(text: str) -> None:
+    """The switch ``actions`` file: a comma-separated list of action kinds."""
+    for token in text.strip().split(","):
+        token = token.strip()
+        if token and not token.replace("_", "").isalnum():
+            raise InvalidArgument(detail=f"malformed action kind {token!r}")
+
+
 def boolean_flag(text: str) -> None:
     """Config flags such as ``config.port_down``: 0 or 1."""
     value = text.strip()
@@ -123,8 +143,23 @@ FLOW_ATTRIBUTE_VALIDATORS: dict[str, Validator] = {
 #: Validators for the well-known port attribute files.
 PORT_ATTRIBUTE_VALIDATORS: dict[str, Validator] = {
     "config.port_down": boolean_flag,
+    "config.port_status": port_status,
     "hw_addr": mac_address,
 }
+
+#: Validators for the switch attribute files (paper figure 3, left).
+SWITCH_ATTRIBUTE_VALIDATORS: dict[str, Validator] = {
+    "actions": action_vocabulary,
+    "capabilities": _int_in_range(0, 2**32 - 1),
+    "id": _int_in_range(0, 2**64 - 1),
+    "num_buffers": _int_in_range(0, 2**32 - 1),
+}
+
+#: Attribute files that are deliberately free-form text.  The
+#: ``schema-coverage`` lint rule requires every attribute file to either
+#: carry a validator or appear here — so adding a schema file forces an
+#: explicit decision about its vocabulary.
+FREE_FORM_ATTRIBUTES = frozenset({"name", "type", "public_ip"})
 
 #: Validators for host attribute files.
 HOST_ATTRIBUTE_VALIDATORS: dict[str, Validator] = {

@@ -1,0 +1,16 @@
+"""Fixture: wall-clock time and unseeded randomness (yanclint must flag)."""
+
+import random
+import time
+
+
+def wall_clock():
+    return time.time()  # bad: determinism
+
+
+def unseeded():
+    return random.random()  # bad: determinism
+
+
+def unseeded_rng():
+    return random.Random()  # bad: determinism

@@ -1,0 +1,24 @@
+# yanclint: scope=vfs
+"""Fixture: error-discipline violations (yanclint must flag)."""
+
+
+def swallow():
+    try:
+        risky()
+    except Exception:  # bad: error-discipline
+        pass
+
+
+def bare():
+    try:
+        risky()
+    except:  # bad: error-discipline
+        pass
+
+
+def untyped():
+    raise ValueError("not a typed fs error")  # bad: error-discipline
+
+
+def risky():
+    raise RuntimeError

@@ -1,0 +1,10 @@
+"""Fixture: hygiene violations (yanclint must flag)."""
+
+
+def collect(bucket=[]):  # bad: mutable-default
+    return bucket
+
+
+def shadow():
+    list = [1]  # bad: shadow-builtin
+    return list

@@ -1,0 +1,13 @@
+# yanclint: scope=app
+"""Fixture: an app reaching around the file interface (yanclint must flag)."""
+
+from repro.drivers import OpenFlowDriver  # bad: vfs-bypass
+from repro.yancfs.schema import AttributeFile  # bad: vfs-bypass
+
+
+def poke(switch_node):
+    switch_node.set_content(b"x")  # bad: vfs-bypass
+
+
+def graft(parent_inode, child):
+    parent_inode.attach("rogue", child)  # bad: vfs-bypass

@@ -1,0 +1,12 @@
+"""Fixture: the same constructs, suppressed or correctly seeded."""
+
+import random
+import time
+
+
+def wall_clock():
+    return time.time()  # yanclint: disable=determinism
+
+
+def seeded():
+    return random.Random(7).random()

@@ -1,0 +1,31 @@
+# yanclint: scope=vfs
+"""Fixture: compliant (or suppressed) error handling."""
+
+from repro.vfs.errors import InvalidArgument
+
+
+def typed():
+    raise InvalidArgument(detail="nope")
+
+
+def reraises():
+    try:
+        typed()
+    except Exception:
+        raise
+
+
+def records():
+    failures = []
+    try:
+        typed()
+    except Exception as exc:
+        failures.append(exc)
+    return failures
+
+
+def suppressed():
+    try:
+        typed()
+    except Exception:  # yanclint: disable=error-discipline
+        pass

@@ -1,0 +1,10 @@
+"""Fixture: the same constructs, suppressed."""
+
+
+def collect(bucket=[]):  # yanclint: disable=mutable-default
+    return bucket
+
+
+def shadow():
+    list = [1]  # yanclint: disable=shadow-builtin
+    return list

@@ -1,0 +1,12 @@
+# yanclint: scope=app
+"""Fixture: the same constructs, suppressed (plus the legitimate idiom)."""
+
+from repro.drivers import OpenFlowDriver  # yanclint: disable=vfs-bypass
+
+
+def poke(switch_node):
+    switch_node.set_content(b"x")  # yanclint: disable=vfs-bypass
+
+
+def proper(sc):
+    sc.write_text("/net/switches/sw1/flows/f/priority", "9")

@@ -1,0 +1,148 @@
+"""yanclint: each rule fires on its bad fixture and stays quiet on the ok twin."""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.analysis import analyze_paths, format_findings
+from repro.analysis.cli import main
+from repro.yancfs import validate
+
+HERE = Path(__file__).parent
+BAD = HERE / "fixtures" / "bad"
+OK = HERE / "fixtures" / "ok"
+REPO = HERE.parents[1]
+
+_BAD_MARK = re.compile(r"#\s*bad:\s*([\w-]+)")
+
+
+def expected_findings(path: Path) -> list[tuple[str, int]]:
+    """(rule, line) pairs for every ``# bad: <rule>`` marker in a fixture."""
+    pairs = []
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        match = _BAD_MARK.search(line)
+        if match:
+            pairs.append((match.group(1), lineno))
+    return pairs
+
+
+def fixture_findings(path: Path, *rules: str) -> list[tuple[str, int]]:
+    found = analyze_paths([str(path)], select=set(rules))
+    assert all(f.path == str(path) for f in found)
+    return [(f.rule, f.line) for f in found]
+
+
+def check_rule_pair(name: str, *rules: str) -> None:
+    bad, ok = BAD / f"{name}.py", OK / f"{name}.py"
+    want = expected_findings(bad)
+    assert want, f"fixture {bad} declares no expected findings"
+    assert fixture_findings(bad, *rules) == want
+    assert fixture_findings(ok, *rules) == []
+
+
+def test_determinism_rule():
+    check_rule_pair("determinism", "determinism")
+
+
+def test_vfs_bypass_rule():
+    check_rule_pair("vfs_bypass", "vfs-bypass")
+
+
+def test_error_discipline_rule():
+    check_rule_pair("error_discipline", "error-discipline")
+
+
+def test_hygiene_rules():
+    check_rule_pair("hygiene", "mutable-default", "shadow-builtin")
+
+
+def test_vfs_bypass_needs_scope():
+    # The same constructs outside app/example scope are not flagged: the
+    # bad fixture only fires because of its `# yanclint: scope=app` line.
+    text = (BAD / "vfs_bypass.py").read_text()
+    assert "# yanclint: scope=app" in text
+
+
+def test_diagnostics_carry_file_and_line(capsys):
+    rc = main([str(BAD / "determinism.py"), "--select", "determinism"])
+    out = capsys.readouterr().out
+    assert rc == 1
+    for rule, line in expected_findings(BAD / "determinism.py"):
+        assert f"{BAD / 'determinism.py'}:{line}:" in out
+        assert f"[{rule}]" in out
+
+
+def test_cli_clean_exit_zero(capsys):
+    rc = main([str(OK / "determinism.py"), "--select", "determinism"])
+    assert rc == 0
+    assert "yanclint: clean" in capsys.readouterr().out
+
+
+def test_cli_ignore_silences_rule(capsys):
+    rc = main([str(BAD / "hygiene.py"), "--ignore", "mutable-default,shadow-builtin,schema-coverage"])
+    assert rc == 0
+
+
+def test_cli_list_rules(capsys):
+    rc = main(["--list-rules"])
+    out = capsys.readouterr().out
+    assert rc == 0
+    for rule in ("determinism", "vfs-bypass", "error-discipline", "schema-coverage", "mutable-default", "shadow-builtin"):
+        assert rule in out
+
+
+def test_cli_json_format(capsys):
+    import json
+
+    rc = main([str(BAD / "hygiene.py"), "--select", "mutable-default", "--format", "json"])
+    assert rc == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload and payload[0]["rule"] == "mutable-default"
+    assert payload[0]["line"] == expected_findings(BAD / "hygiene.py")[0][1]
+
+
+def test_schema_coverage_clean_on_repo():
+    assert analyze_paths([], select={"schema-coverage"}) == []
+
+
+def test_schema_coverage_detects_missing_validator(monkeypatch):
+    monkeypatch.delitem(validate.SWITCH_ATTRIBUTE_VALIDATORS, "id")
+    findings = analyze_paths([], select={"schema-coverage"})
+    assert any(f.rule == "schema-coverage" and "'id'" in f.message for f in findings)
+    # anchored at the declaration in schema.py, not a dummy location
+    assert all(f.path.endswith("schema.py") and f.line > 1 for f in findings)
+
+
+def test_schema_coverage_detects_missing_flow_attr(monkeypatch):
+    monkeypatch.delitem(validate.FLOW_ATTRIBUTE_VALIDATORS, "cookie")
+    findings = analyze_paths([], select={"schema-coverage"})
+    assert any("FLOW_ATTRIBUTE_VALIDATORS" in f.message and "'cookie'" in f.message for f in findings)
+
+
+def test_whole_repo_is_clean():
+    findings = analyze_paths([str(REPO / "src"), str(REPO / "tests"), str(REPO / "examples")])
+    assert findings == [], format_findings(findings)
+
+
+def test_missing_path_is_an_error(capsys):
+    rc = main(["does/not/exist", "--select", "determinism"])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "does/not/exist:1:1" in out and "[usage]" in out
+
+
+def test_unknown_rule_rejected(capsys):
+    rc = main([str(OK / "hygiene.py"), "--select", "no-such-rule"])
+    err = capsys.readouterr().err
+    assert rc == 2
+    assert "unknown rule(s): no-such-rule" in err
+
+
+def test_parse_error_reported(tmp_path, capsys):
+    broken = tmp_path / "broken.py"
+    broken.write_text("def oops(:\n")
+    rc = main([str(broken), "--select", "determinism"])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "[parse-error]" in out and f"{broken}:" in out

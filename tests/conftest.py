@@ -4,11 +4,28 @@ from __future__ import annotations
 
 import pytest
 
+from repro.analysis import sanitizer
 from repro.runtime import YancController
 from repro.sim import Simulator
 from repro.vfs.syscalls import Syscalls
 from repro.vfs.vfs import VirtualFileSystem
 from repro.yancfs.client import YancClient, mount_yancfs
+
+
+@pytest.fixture(autouse=True)
+def yancsan_check():
+    """With YANCSAN=1, run every test under the runtime sanitizer and fail
+    it if any invariant violation (fd leak, unvalidated write, notify
+    inconsistency, flow-commit break) is recorded."""
+    san = sanitizer.install_from_env()
+    if san is None:
+        yield
+        return
+    san.reset()
+    yield
+    findings = san.check()
+    san.reset()
+    assert not findings, "yancsan findings:\n" + "\n".join(str(f) for f in findings)
 
 
 @pytest.fixture

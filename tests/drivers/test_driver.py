@@ -54,6 +54,11 @@ def test_same_version_not_resent(ctl):
     ctl.host.root_sc.write_text("/net/switches/sw1/flows/f/priority", "9")
     ctl.run(0.2)
     assert ctl.drivers[0].flow_mods_sent == sent_before
+    # ... until the commit lands, at which point the update goes out
+    yc.commit_flow("sw1", "f")
+    ctl.run(0.2)
+    assert ctl.drivers[0].flow_mods_sent > sent_before
+    assert ctl.net.switches["sw1"].table.entries()[0].priority == 9
 
 
 def test_recommit_after_edit_replaces_entry(ctl):

@@ -32,6 +32,29 @@ def test_cron_job_failure_isolated():
     assert cron.jobs["flaky"].failures == 3
     assert cron.jobs["flaky"].runs == 0
     assert len(ok_runs) == 3
+    # the cause is recorded, not swallowed
+    err = cron.jobs["flaky"].last_error
+    assert isinstance(err, RuntimeError) and str(err) == "boom"
+    assert cron.jobs["steady"].last_error is None
+
+
+def test_cron_last_error_cleared_on_recovery():
+    sim = Simulator()
+    cron = Cron(sim)
+    state = {"fail": True}
+
+    def sometimes():
+        if state["fail"]:
+            raise ValueError("transient")
+
+    job = cron.add_job("sometimes", 1.0, sometimes)
+    sim.run_until(1.5)
+    assert job.failures == 1
+    assert isinstance(job.last_error, ValueError)
+    state["fail"] = False
+    sim.run_until(2.5)
+    assert job.runs == 1
+    assert job.last_error is None
 
 
 def test_cron_remove_job():

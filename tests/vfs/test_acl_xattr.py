@@ -7,6 +7,7 @@ from repro.vfs import (
     AclEntry,
     AclTag,
     Credentials,
+    InvalidArgument,
     NoData,
     PermissionDenied,
     Syscalls,
@@ -116,11 +117,11 @@ def test_acl_text_roundtrip():
 
 
 def test_acl_entry_validation():
-    with pytest.raises(ValueError):
+    with pytest.raises(InvalidArgument):
         AclEntry(AclTag.USER, 4)  # missing qualifier
-    with pytest.raises(ValueError):
+    with pytest.raises(InvalidArgument):
         AclEntry(AclTag.OTHER, 4, qualifier=5)  # spurious qualifier
-    with pytest.raises(ValueError):
+    with pytest.raises(InvalidArgument):
         AclEntry(AclTag.OTHER, 9)  # bad perms
 
 

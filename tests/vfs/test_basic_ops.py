@@ -80,6 +80,7 @@ def test_read_on_writeonly_fd(sc):
     fd = sc.open("/f", O_WRONLY | O_CREAT)
     with pytest.raises(BadFileDescriptor):
         sc.read(fd)
+    sc.close(fd)
 
 
 def test_write_on_readonly_fd(sc):
@@ -87,6 +88,7 @@ def test_write_on_readonly_fd(sc):
     fd = sc.open("/f", O_RDONLY)
     with pytest.raises(BadFileDescriptor):
         sc.write(fd, b"y")
+    sc.close(fd)
 
 
 def test_closed_fd_rejected(sc):

@@ -5,6 +5,7 @@ import pytest
 from repro.vfs import (
     Credentials,
     FanMask,
+    InvalidArgument,
     NotPermitted,
     O_RDONLY,
     O_WRONLY,
@@ -109,6 +110,6 @@ def test_change_freeze_scenario(yanc_sc, yc):
 def test_empty_mask_rejected(sc):
     sc.write_text("/f", "x")
     group = sc.vfs.fanotify.group(lambda event: True)
-    with pytest.raises(ValueError):
+    with pytest.raises(InvalidArgument):
         group.mark(_inode(sc, "/f"), FanMask(0))
     group.close()

@@ -1,0 +1,78 @@
+"""Rollback-on-close edge cases for validated attribute files.
+
+The contract (yancfs/validate): a write whose content does not parse is
+rejected with EINVAL at close and the previous content is restored — the
+tree never holds an unparseable configuration, even transiently across
+odd write shapes (empty, whitespace-only, append-mode)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.vfs import O_APPEND, O_WRONLY
+from repro.vfs.errors import InvalidArgument
+
+
+@pytest.fixture
+def flow(yanc_sc):
+    yanc_sc.mkdir("/net/switches/s1")
+    yanc_sc.mkdir("/net/switches/s1/flows/f")
+    base = "/net/switches/s1/flows/f"
+    yanc_sc.write_text(f"{base}/match.dl_type", "0x800")
+    return yanc_sc, base
+
+
+def test_empty_write_rolls_back(flow):
+    sc, base = flow
+    with pytest.raises(InvalidArgument):
+        sc.write_text(f"{base}/match.dl_type", "")
+    assert sc.read_text(f"{base}/match.dl_type") == "0x800"
+
+
+def test_whitespace_only_write_rolls_back(flow):
+    sc, base = flow
+    with pytest.raises(InvalidArgument):
+        sc.write_text(f"{base}/match.dl_type", "   \n\t")
+    assert sc.read_text(f"{base}/match.dl_type") == "0x800"
+
+
+def test_append_mode_garbage_rolls_back(flow):
+    sc, base = flow
+    fd = sc.open(f"{base}/match.dl_type", O_WRONLY | O_APPEND)
+    sc.write(fd, b"zz")  # "0x800zz" does not parse
+    with pytest.raises(InvalidArgument):
+        sc.close(fd)
+    assert sc.read_text(f"{base}/match.dl_type") == "0x800"
+
+
+def test_append_mode_valid_extension_kept(flow):
+    sc, base = flow
+    fd = sc.open(f"{base}/match.dl_type", O_WRONLY | O_APPEND)
+    sc.write(fd, b"6")  # "0x8006" still parses as an integer
+    sc.close(fd)
+    assert sc.read_text(f"{base}/match.dl_type") == "0x8006"
+
+
+def test_restore_is_byte_for_byte(flow):
+    sc, base = flow
+    odd = "  0x800 \n"  # valid but deliberately unnormalized
+    sc.write_text(f"{base}/match.dl_type", odd)
+    with pytest.raises(InvalidArgument):
+        sc.write_text(f"{base}/match.dl_type", "not hex")
+    assert sc.read_bytes(f"{base}/match.dl_type") == odd.encode()
+
+
+def test_repeated_rejections_keep_last_valid(flow):
+    sc, base = flow
+    for garbage in ("nope", "", "0x", "dl"):
+        with pytest.raises(InvalidArgument):
+            sc.write_text(f"{base}/match.dl_type", garbage)
+    assert sc.read_text(f"{base}/match.dl_type") == "0x800"
+
+
+def test_new_file_rejected_at_close_holds_rollback_value(flow):
+    sc, base = flow
+    # a brand-new attribute file whose first-ever write is invalid
+    with pytest.raises(InvalidArgument):
+        sc.write_text(f"{base}/match.nw_proto", "not-a-proto")
+    assert sc.read_text(f"{base}/match.nw_proto") == ""
