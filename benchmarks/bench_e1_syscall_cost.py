@@ -59,10 +59,13 @@ def test_context_switches_scale_with_fleet(benchmark):
         client = host.client(meter=meter)
         _install_everywhere(client, client.switches(), "sweep")
         simulated = FUSE_COST_MODEL.syscall_time(meter.syscalls)
-        rows.append((size, meter.syscalls, meter.context_switches, f"{simulated * 1000:.2f} ms"))
+        ns = client.sc.ns
+        ns.dcache.publish(host.vfs.counters)
+        dcache_hits = host.vfs.counters.get("dcache.hits") + host.vfs.counters.get("dcache.path_hits")
+        rows.append((size, meter.syscalls, meter.context_switches, dcache_hits, f"{simulated * 1000:.2f} ms"))
     print_table(
         "E1: fleet-wide flow push, file path (per-switch flow entry)",
-        ["switches", "syscalls", "ctx switches", "simulated time"],
+        ["switches", "syscalls", "ctx switches", "dcache hits", "simulated time"],
         rows,
     )
     by_size = {row[0]: row for row in rows}

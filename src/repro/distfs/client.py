@@ -38,6 +38,9 @@ class RemoteFs(Filesystem):
     """A file system whose truth lives on a :class:`FileServer`."""
 
     fs_type = "remotefs"
+    # Directory contents are refreshed over RPC inside lookup() and mutated
+    # outside attach()/detach(); the VFS dentry cache must not memoize them.
+    cacheable = False
 
     def __init__(
         self,

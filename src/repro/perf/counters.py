@@ -41,6 +41,12 @@ class PerfCounters:
     * ``ctxsw`` — context switches (two per FUSE-mediated syscall: app->kernel
       and kernel->fs daemon; see :mod:`repro.perf.cost`).
     * ``notify.events`` — inotify events delivered.
+    * ``notify.coalesced`` / ``notify.dropped`` / ``notify.overflows`` —
+      events merged into the queue tail, dropped at the queue bound, and
+      IN_Q_OVERFLOW records queued (see :mod:`repro.vfs.notify`).
+    * ``dcache.hits`` / ``dcache.neg_hits`` / ``dcache.misses`` /
+      ``dcache.invalidations`` — dentry-cache activity, published per
+      namespace by :meth:`repro.vfs.dcache.DentryCache.publish`.
     * ``openflow.tx`` / ``openflow.rx`` — wire messages moved.
     """
 

@@ -13,6 +13,7 @@ Public surface:
 
 from repro.vfs.acl import Acl, AclEntry, AclTag
 from repro.vfs.cred import ROOT, Credentials
+from repro.vfs.dcache import DentryCache
 from repro.vfs.fanotify import FanEvent, FanMask, FanotifyGroup, FanotifyRegistry
 from repro.vfs.errors import (
     BadFileDescriptor,
@@ -64,6 +65,7 @@ __all__ = [
     "AclTag",
     "ROOT",
     "Credentials",
+    "DentryCache",
     "FanEvent",
     "FanMask",
     "FanotifyGroup",

@@ -12,6 +12,7 @@ from __future__ import annotations
 import itertools
 from dataclasses import dataclass
 
+from repro.vfs.dcache import DentryCache
 from repro.vfs.errors import DeviceBusy, InvalidArgument, NotADirectory
 from repro.vfs.inode import DirInode, Filesystem, Inode
 
@@ -40,6 +41,10 @@ class MountNamespace:
         self.name = name or f"ns{self.ns_id}"
         self.root_entry = MountEntry(fs=root_fs, root=root_node or root_fs.root, mountpoint=None, source=root_fs.fs_type)
         self._mounts: dict[int, MountEntry] = {}
+        #: Per-namespace dentry cache.  Entries hold post-mount-crossing
+        #: children, so every mount-table change below flushes it; clones
+        #: and pivots start empty (a fresh namespace gets a fresh cache).
+        self.dcache = DentryCache()
 
     def mounts(self) -> list[MountEntry]:
         """All non-root mounts in this namespace."""
@@ -53,6 +58,7 @@ class MountNamespace:
             raise DeviceBusy(source, "mountpoint already in use")
         entry = MountEntry(fs=fs, root=root or fs.root, mountpoint=mountpoint, source=source or fs.fs_type)
         self._mounts[id(mountpoint)] = entry
+        self.dcache.flush()
         return entry
 
     def bind(self, mountpoint: Inode, subtree: DirInode, *, source: str = "bind") -> MountEntry:
@@ -64,6 +70,7 @@ class MountNamespace:
         entry = self._mounts.pop(id(mountpoint), None)
         if entry is None:
             raise InvalidArgument(detail="not a mountpoint")
+        self.dcache.flush()
         return entry
 
     def mount_at(self, node: Inode) -> MountEntry | None:

@@ -41,6 +41,7 @@ class EventMask(enum.IntFlag):
     IN_DELETE = 0x0200
     IN_DELETE_SELF = 0x0400
     IN_MOVE_SELF = 0x0800
+    IN_Q_OVERFLOW = 0x4000
     IN_ISDIR = 0x4000_0000
 
     @classmethod
@@ -63,6 +64,9 @@ class EventMask(enum.IntFlag):
 
 
 IN_ALL_EVENTS = EventMask.all_events()
+
+#: Linux default for /proc/sys/fs/inotify/max_queued_events.
+DEFAULT_MAX_QUEUED_EVENTS = 16384
 
 
 @dataclass(frozen=True)
@@ -97,12 +101,27 @@ class Watch:
 
 
 class Inotify:
-    """An application's notification instance (one event queue)."""
+    """An application's notification instance (one event queue).
 
-    def __init__(self, hub: "NotifyHub") -> None:
+    The queue is bounded (inotify's ``max_queued_events``) and coalesces an
+    event identical to the one at the tail of the queue, exactly as the
+    kernel's ``inotify_merge`` does — a flow-table churn storm repeating
+    the same modification therefore costs one queued record, and a reader
+    that falls too far behind sees a single ``IN_Q_OVERFLOW`` record
+    (wd -1) instead of unbounded queue growth.
+    """
+
+    def __init__(self, hub: "NotifyHub", *, max_queued_events: int | None = None) -> None:
         self._hub = hub
         self._queue: list[NotifyEvent] = []
         self._watches: dict[int, Watch] = {}
+        self.max_queued_events = max(1, max_queued_events or DEFAULT_MAX_QUEUED_EVENTS)
+        #: Lifetime tallies for this instance (also published to the hub's
+        #: PerfCounters as notify.coalesced / notify.dropped / notify.overflows).
+        self.coalesced = 0
+        self.dropped = 0
+        self.overflows = 0
+        self._overflowed = False
         #: Called once whenever the queue goes empty -> non-empty; the
         #: simulation runtime uses it to schedule a daemon wakeup.
         self.wakeup: Callable[[], None] | None = None
@@ -131,6 +150,7 @@ class Inotify:
     def read(self) -> list[NotifyEvent]:
         """Drain and return all queued events (empty list if none)."""
         events, self._queue = self._queue, []
+        self._overflowed = False
         return events
 
     def pending(self) -> int:
@@ -150,9 +170,26 @@ class Inotify:
         self._watches[watch.wd] = watch
 
     def _deliver(self, event: NotifyEvent) -> None:
-        was_empty = not self._queue
-        self._queue.append(event)
-        if was_empty and self.wakeup is not None:
+        queue = self._queue
+        if queue:
+            last = queue[-1]
+            if last.wd == event.wd and last.mask == event.mask and last.name == event.name and last.cookie == event.cookie:
+                self.coalesced += 1
+                self._hub.count("notify.coalesced")
+                return
+            if len(queue) >= self.max_queued_events:
+                self.dropped += 1
+                self._hub.count("notify.dropped")
+                if not self._overflowed:
+                    self._overflowed = True
+                    self.overflows += 1
+                    self._hub.count("notify.overflows")
+                    queue.append(NotifyEvent(wd=-1, mask=EventMask.IN_Q_OVERFLOW))
+                return
+            queue.append(event)
+            return
+        queue.append(event)
+        if self.wakeup is not None:
             self.wakeup()
 
 
@@ -165,9 +202,14 @@ class NotifyHub:
         self._by_inode: dict[int, list[Watch]] = {}
         self._counters = counters
 
-    def instance(self) -> Inotify:
+    def instance(self, *, max_queued_events: int | None = None) -> Inotify:
         """Create a new notification instance (``inotify_init``)."""
-        return Inotify(self)
+        return Inotify(self, max_queued_events=max_queued_events)
+
+    def count(self, name: str) -> None:
+        """Increment a delivery counter (no-op without a counter registry)."""
+        if self._counters is not None:
+            self._counters.add(name)
 
     def next_cookie(self) -> int:
         """Allocate a cookie pairing the two halves of a rename."""

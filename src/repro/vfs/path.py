@@ -13,7 +13,13 @@ def split_path(path: str) -> list[str]:
 
 
 def normalize(path: str) -> str:
-    """Lexically normalize: collapse slashes and '.', resolve '..'."""
+    """Lexically normalize: collapse slashes and '.', resolve '..'.
+
+    Resolving ``..`` lexically is only safe when no component on its left
+    can be a symlink or a mount root; path *resolution* must use
+    :func:`clean` instead and leave ``..`` to the mount- and symlink-aware
+    walk in :class:`~repro.vfs.vfs.VirtualFileSystem`.
+    """
     stack: list[str] = []
     for part in split_path(path):
         if part == "..":
@@ -22,6 +28,16 @@ def normalize(path: str) -> str:
         else:
             stack.append(part)
     return "/" + "/".join(stack)
+
+
+def clean(path: str) -> str:
+    """Collapse duplicate slashes and '.' components; preserve '..'.
+
+    ``/net//switches/./s1`` and ``/net/switches/s1`` become the same string
+    (one canonical key for metering and caching) without taking a stance on
+    ``..``, which only the resolver can interpret correctly.
+    """
+    return "/" + "/".join(split_path(path))
 
 
 def join(base: str, *parts: str) -> str:

@@ -19,7 +19,7 @@ from repro.vfs.errors import BadFileDescriptor
 from repro.vfs.inode import Filesystem
 from repro.vfs.mount import MountNamespace
 from repro.vfs.notify import EventMask, Inotify, NotifyEvent
-from repro.vfs.path import join, normalize
+from repro.vfs.path import clean, join, normalize
 from repro.vfs.stat import Stat
 from repro.vfs.vfs import (
     O_APPEND,
@@ -64,6 +64,10 @@ class Syscalls:
         self._cwd = cwd
         self._fds: dict[int, FileHandle] = {}
         self._next_fd = 3
+        #: Lexical (cwd, path) -> absolute-path memo.  _abspath is a pure
+        #: string function, so the memo needs no invalidation — only a size
+        #: bound against pathological workloads.
+        self._abs_memo: dict[tuple[str, str], str] = {}
 
     def spawn(
         self,
@@ -89,9 +93,26 @@ class Syscalls:
     # -- path handling ------------------------------------------------------------
 
     def _abspath(self, path: str) -> str:
+        """Make ``path`` absolute and canonical without resolving ``..``.
+
+        Both branches collapse ``//`` and ``.`` so equivalent spellings
+        produce one key; ``..`` is preserved for the VFS walk, which
+        resolves it physically (mount- and symlink-aware).  Lexically
+        collapsing ``..`` here would mis-resolve any path whose prefix
+        crosses a symlink (e.g. ``../x`` from a symlinked cwd).
+        """
+        key = (self._cwd, path)
+        cached = self._abs_memo.get(key)
+        if cached is not None:
+            return cached
         if path.startswith("/"):
-            return path
-        return normalize(join(self._cwd, path))
+            out = clean(path)
+        else:
+            out = clean(join(self._cwd, path))
+        if len(self._abs_memo) >= 4096:
+            self._abs_memo.clear()
+        self._abs_memo[key] = out
+        return out
 
     def getcwd(self) -> str:
         """Current working directory."""
@@ -328,10 +349,10 @@ class Syscalls:
 
     # -- notification ------------------------------------------------------------------
 
-    def inotify_init(self) -> Inotify:
-        """inotify_init(2)."""
+    def inotify_init(self, *, max_queued_events: int | None = None) -> Inotify:
+        """inotify_init(2); the queue bound mirrors fs.inotify.max_queued_events."""
         self.meter.enter("inotify_init")
-        return self.vfs.inotify()
+        return self.vfs.inotify(max_queued_events=max_queued_events)
 
     def inotify_add_watch(self, instance: Inotify, path: str, mask: EventMask) -> int:
         """inotify_add_watch(2): watch a path."""

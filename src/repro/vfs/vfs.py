@@ -33,8 +33,10 @@ from repro.vfs.inode import (
     Filesystem,
     Inode,
     SymlinkInode,
+    bump_tree_epoch,
     require_dir,
     require_file,
+    tree_epoch,
     validate_name,
 )
 from repro.vfs.memfs import MemFs
@@ -99,6 +101,9 @@ class FileHandle:
         self._alive()
         if not self.readable:
             raise BadFileDescriptor(detail="not open for reading")
+        # Positional I/O must pass the same fanotify permission gate as
+        # read(): FAN_ACCESS_PERM listeners see every byte access.
+        self._vfs.fanotify.check_access(self.inode, self.cred)
         data = self.inode.read(offset, size)
         self.inode.fs.emit(self.inode, EventMask.IN_ACCESS)
         return data
@@ -177,12 +182,14 @@ class VirtualFileSystem:
         self.root_fs = root_fs or MemFs(clock=self.clock)
         self.root_fs.hub = self.hub
         self.root_ns = MountNamespace(self.root_fs, name="init")
+        # path string -> component tuple (see resolve()).
+        self._parts_memo: dict[str, tuple[str, ...]] = {}
 
     # -- namespaces and mounts -------------------------------------------------
 
-    def inotify(self) -> Inotify:
+    def inotify(self, *, max_queued_events: int | None = None) -> Inotify:
         """Create a notification instance for an application."""
-        return self.hub.instance()
+        return self.hub.instance(max_queued_events=max_queued_events)
 
     def mount(
         self,
@@ -238,11 +245,15 @@ class VirtualFileSystem:
         follow_last: bool = True,
     ) -> Inode:
         """Resolve ``path`` to an inode (symlinks followed; mounts crossed)."""
-        parts = split_path(path)
-        stack: list[Inode] = [ns.root_entry.root]
-        budget = [MAX_SYMLINK_DEPTH]
-        self._walk(ns, cred, stack, parts, follow_last, budget, path)
-        return stack[-1]
+        # Tokenizing is pure string work, so memoize it; the tuple doubles
+        # as the dentry cache's whole-path key without a copy.
+        parts = self._parts_memo.get(path)
+        if parts is None:
+            parts = tuple(split_path(path))
+            if len(self._parts_memo) >= 4096:
+                self._parts_memo.clear()
+            self._parts_memo[path] = parts
+        return self._resolve_parts(ns, cred, parts, follow_last, path)
 
     def resolve_parent(self, ns: MountNamespace, cred: Credentials, path: str) -> tuple[DirInode, str]:
         """Resolve the parent directory of ``path``; return (dir, last name)."""
@@ -253,10 +264,111 @@ class VirtualFileSystem:
         return parent, validate_name(parts[-1])
 
     def _resolve_dir(self, ns: MountNamespace, cred: Credentials, parts: list[str], path: str) -> DirInode:
+        return require_dir(self._resolve_parts(ns, cred, parts, True, path), path)
+
+    def _resolve_parts(
+        self,
+        ns: MountNamespace,
+        cred: Credentials,
+        parts: list[str],
+        follow_last: bool,
+        full_path: str,
+    ) -> Inode:
+        """Walk ``parts`` from the namespace root: path memo, dentry cache, slow path."""
+        dcache = ns.dcache
+        deps: list | None = None
+        key = None
+        if parts and dcache.enabled:
+            key = (tuple(parts), follow_last)
+            entry = dcache.paths.get(key)
+            if entry is not None and entry[2] is cred:
+                epoch = tree_epoch()
+                if entry[0] == epoch:
+                    dcache.path_hits += 1
+                    return entry[3]
+                for dep in entry[1]:
+                    node = dep[0]
+                    if node.dgen != dep[1] or node.acl is not dep[2] or node.uid != dep[3] or node.gid != dep[4]:
+                        del dcache.paths[key]
+                        dcache.invalidations += 1
+                        break
+                else:
+                    # Nothing this resolution depends on moved: re-stamp the
+                    # entry with the current epoch and serve it.
+                    dcache.paths[key] = (epoch, entry[1], cred, entry[3])
+                    dcache.path_hits += 1
+                    return entry[3]
+            dcache.path_misses += 1
+            deps = []
         stack: list[Inode] = [ns.root_entry.root]
-        budget = [MAX_SYMLINK_DEPTH]
-        self._walk(ns, cred, stack, parts, True, budget, path)
-        return require_dir(stack[-1], path)
+        consumed = 0
+        if parts and dcache.enabled:
+            consumed = self._walk_cached(ns, cred, stack, parts, full_path, deps)
+        if consumed < len(parts):
+            budget = [MAX_SYMLINK_DEPTH]
+            remaining = parts[consumed:] if consumed else parts
+            self._walk(ns, cred, stack, remaining, follow_last, budget, full_path, deps)
+        result = stack[-1]
+        # Memoize the whole resolution unless a non-cacheable file system
+        # poisoned the dependency list (None marker).
+        if deps and None not in deps:
+            dcache.store_path(key, tree_epoch(), deps, cred, result)
+        return result
+
+    def _walk_cached(
+        self,
+        ns: MountNamespace,
+        cred: Credentials,
+        stack: list[Inode],
+        parts: list[str],
+        full_path: str,
+        deps: list | None = None,
+    ) -> int:
+        """Consume a prefix of ``parts`` from the namespace's dentry cache.
+
+        Returns the number of components consumed (``stack`` is extended in
+        place); the slow walk picks up from there.  Cached entries are never
+        symlinks and already sit on the far side of any mount crossing, so a
+        hit replaces lookup + symlink test + mount-table probe with one dict
+        probe and a generation compare.  MAY_EXEC is still enforced on every
+        traversed directory against the live inode — only *lookups* are
+        memoized, never permissions.
+        """
+        dcache = ns.dcache
+        entries = dcache.entries
+        entries_get = entries.get
+        is_root = cred.is_root
+        check_access = self.check_access
+        hits = 0
+        index = 0
+        for index, part in enumerate(parts):
+            if part == "..":
+                break
+            current = stack[-1]
+            entry = entries_get((id(current), part))
+            if entry is None or entry[0] is not current:
+                break
+            if entry[1] != current.dgen:
+                del entries[(id(current), part)]
+                dcache.invalidations += 1
+                break
+            if current.acl is not None or not is_root:
+                check_access(current, cred, MAY_EXEC, full_path)
+            if deps is not None:
+                deps.append((current, entry[1], current.acl, current.uid, current.gid))
+            child = entry[2]
+            if child is None:
+                dcache.hits += hits
+                dcache.neg_hits += 1
+                raise FileNotFound(part)
+            hits += 1
+            stack.append(child)
+        else:
+            dcache.hits += hits
+            return len(parts)
+        dcache.hits += hits
+        dcache.misses += 1
+        return index
 
     def _walk(
         self,
@@ -267,17 +379,29 @@ class VirtualFileSystem:
         follow_last: bool,
         budget: list[int],
         full_path: str,
+        deps: list | None = None,
     ) -> None:
+        dcache = ns.dcache
         for index, part in enumerate(parts):
             is_last = index == len(parts) - 1
             current = stack[-1]
             cur_dir = require_dir(current, full_path)
             self.check_access(cur_dir, cred, MAY_EXEC, full_path)
+            if deps is not None:
+                if cur_dir.fs.cacheable:
+                    deps.append((cur_dir, cur_dir.dgen, cur_dir.acl, cur_dir.uid, cur_dir.gid))
+                else:
+                    deps.append(None)  # poison: this resolution may not be memoized
             if part == "..":
                 if len(stack) > 1:
                     stack.pop()
                 continue
-            child = cur_dir.lookup(part)
+            try:
+                child = cur_dir.lookup(part)
+            except FileNotFound:
+                if dcache.enabled and cur_dir.fs.cacheable:
+                    dcache.store(cur_dir, part, None)
+                raise
             if isinstance(child, SymlinkInode) and (not is_last or follow_last):
                 budget[0] -= 1
                 if budget[0] < 0:
@@ -285,12 +409,17 @@ class VirtualFileSystem:
                 target_parts = [p for p in child.target.split("/") if p and p != "."]
                 if child.target.startswith("/"):
                     del stack[1:]
-                self._walk(ns, cred, stack, target_parts, True, budget, full_path)
+                self._walk(ns, cred, stack, target_parts, True, budget, full_path, deps)
                 continue
             mount = ns.mount_at(child)
-            if mount is not None:
+            while mount is not None:  # cross stacked mounts to the topmost root
                 child = mount.root
+                mount = ns.mount_at(child)
             stack.append(child)
+            # Symlinks are never cached: whether they are followed depends
+            # on position and follow_last, which the key cannot express.
+            if dcache.enabled and cur_dir.fs.cacheable and not isinstance(child, SymlinkInode):
+                dcache.store(cur_dir, part, child)
 
     # -- permissions ---------------------------------------------------------------
 
@@ -565,6 +694,7 @@ class VirtualFileSystem:
             node.gid = gid
         else:
             raise NotPermitted(path, "chown requires root")
+        bump_tree_epoch()  # ownership feeds ACL checks; wake the path memo
         node.ctime = node.fs.now()
         node.fs.emit(node, EventMask.IN_ATTRIB)
 
@@ -574,6 +704,7 @@ class VirtualFileSystem:
         if not cred.is_root and cred.uid != node.uid:
             raise NotPermitted(path, "setfacl by non-owner")
         node.acl = acl
+        bump_tree_epoch()  # ACL rebound; path-memo entries must revalidate
         node.ctime = node.fs.now()
         node.fs.emit(node, EventMask.IN_ATTRIB)
 

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from repro.dataplane.actions import Action, parse_action
 from repro.dataplane.match import Match
 from repro.vfs.errors import FileNotFound
+from repro.vfs.path import clean
 from repro.vfs.syscalls import Syscalls
 from repro.yancfs.schema import YancFs
 
@@ -58,7 +59,9 @@ class YancClient:
 
     def __init__(self, sc: Syscalls, root: str = "/net") -> None:
         self.sc = sc
-        self.root = root.rstrip("/") or "/net"
+        # One canonical spelling so derived paths hit one dentry-cache /
+        # meter key instead of fanning out over //-and-dot variants.
+        self.root = clean(root.rstrip("/") or "/net")
 
     # -- paths ----------------------------------------------------------------------
 

@@ -168,3 +168,84 @@ def test_events_free_for_semantic_population(yanc_sc):
     yanc_sc.inotify_add_watch(ino, "/net/switches/sw1/flows", EventMask.IN_CREATE)
     yanc_sc.mkdir("/net/switches/sw1/flows/f1")
     assert [e.name for e in yanc_sc.inotify_read(ino)] == ["f1"]
+
+
+# -- coalescing and the bounded queue ----------------------------------------
+
+
+def test_identical_consecutive_events_coalesce(sc):
+    sc.write_text("/f", "v0")
+    ino = sc.inotify_init()
+    sc.inotify_add_watch(ino, "/f", EventMask.IN_MODIFY)
+    for i in range(10):
+        sc.write_text("/f", f"v{i}")
+    events = _events(sc, ino)
+    modifies = [e for e in events if e.mask & EventMask.IN_MODIFY and e.name is None]
+    assert len(modifies) == 1  # ten identical IN_MODIFYs -> one record
+    assert ino.coalesced >= 9
+
+
+def test_distinct_events_are_not_coalesced(sc):
+    sc.mkdir("/d")
+    ino = sc.inotify_init()
+    sc.inotify_add_watch(ino, "/d", EventMask.IN_CREATE)
+    sc.write_text("/d/a", "x")
+    sc.write_text("/d/b", "x")
+    names = [e.name for e in _events(sc, ino) if e.mask & EventMask.IN_CREATE]
+    assert names == ["a", "b"]
+    assert ino.coalesced == 0
+
+
+def test_queue_overflow_appends_single_marker(sc):
+    sc.mkdir("/d")
+    ino = sc.inotify_init(max_queued_events=4)
+    sc.inotify_add_watch(ino, "/d", EventMask.IN_CREATE)
+    for i in range(10):
+        sc.write_text(f"/d/f{i}", "x")  # distinct names: no coalescing
+    events = _events(sc, ino)
+    assert len(events) == 5  # 4 real events + the overflow marker
+    assert events[-1].mask == EventMask.IN_Q_OVERFLOW
+    assert events[-1].wd == -1
+    assert ino.overflows == 1
+    assert ino.dropped == 10 - 4
+
+
+def test_overflow_rearms_after_read(sc):
+    sc.mkdir("/d")
+    ino = sc.inotify_init(max_queued_events=2)
+    sc.inotify_add_watch(ino, "/d", EventMask.IN_CREATE)
+    for i in range(5):
+        sc.write_text(f"/d/a{i}", "x")
+    first = _events(sc, ino)
+    assert first[-1].mask == EventMask.IN_Q_OVERFLOW
+    for i in range(5):
+        sc.write_text(f"/d/b{i}", "x")
+    second = _events(sc, ino)
+    assert second[-1].mask == EventMask.IN_Q_OVERFLOW
+    assert ino.overflows == 2  # one marker per overflow episode
+
+
+def test_rename_cookie_shared_across_watchers(sc):
+    sc.makedirs("/src")
+    sc.makedirs("/dst")
+    sc.write_text("/src/f", "x")
+    watcher_src = sc.inotify_init()
+    watcher_dst = sc.inotify_init()
+    sc.inotify_add_watch(watcher_src, "/src", EventMask.IN_MOVED_FROM)
+    sc.inotify_add_watch(watcher_dst, "/dst", EventMask.IN_MOVED_TO)
+    sc.rename("/src/f", "/dst/g")
+    moved_from = [e for e in _events(sc, watcher_src) if e.mask & EventMask.IN_MOVED_FROM]
+    moved_to = [e for e in _events(sc, watcher_dst) if e.mask & EventMask.IN_MOVED_TO]
+    assert moved_from[0].name == "f"
+    assert moved_to[0].name == "g"
+    # the two halves pair up even when seen by different instances
+    assert moved_from[0].cookie == moved_to[0].cookie != 0
+
+
+def test_coalescing_counts_published_to_perfcounters(vfs, sc):
+    sc.write_text("/f", "v")
+    ino = sc.inotify_init()
+    sc.inotify_add_watch(ino, "/f", EventMask.IN_MODIFY)
+    for _ in range(5):
+        sc.write_text("/f", "same-shape-event")
+    assert vfs.counters.get("notify.coalesced") >= 4

@@ -1,0 +1,60 @@
+"""Positional I/O (pread/pwrite) must honor the same gates as read/write."""
+
+import pytest
+
+from repro.vfs import BadFileDescriptor, FanMask, NotPermitted, O_RDONLY, O_RDWR
+
+
+def _inode(sc, path):
+    return sc.vfs.resolve(sc.ns, sc.cred, path)
+
+
+def test_pread_matches_read_content(sc):
+    sc.write_text("/f", "0123456789")
+    fd = sc.open("/f", O_RDONLY)
+    assert sc.pread(fd, 4, 3) == b"3456"
+    # pread does not move the shared offset
+    assert sc.read(fd, 2) == b"01"
+    sc.close(fd)
+
+
+def test_pread_respects_fanotify_access_perm(sc):
+    sc.write_text("/f", "secret")
+    fd = sc.open("/f", O_RDONLY)  # opened before the mark
+    group = sc.vfs.fanotify.group(lambda event: False)
+    group.mark(_inode(sc, "/f"), FanMask.FAN_ACCESS_PERM)
+    with pytest.raises(NotPermitted):
+        sc.pread(fd, 3, 0)
+    group.close()
+    assert sc.pread(fd, 3, 0) == b"sec"  # gate lifted with the group
+    sc.close(fd)
+
+
+def test_pread_and_read_gated_identically(sc):
+    """A FAN_ACCESS_PERM listener sees every byte access, positional or not."""
+    sc.write_text("/f", "data")
+    fd = sc.open("/f", O_RDONLY)
+    group = sc.vfs.fanotify.group(lambda event: True)
+    group.mark(_inode(sc, "/f"), FanMask.FAN_ACCESS_PERM)
+    sc.read(fd, 1)
+    sc.pread(fd, 1, 2)
+    assert group.events_seen == 2
+    group.close()
+    sc.close(fd)
+
+
+def test_pwrite_rejected_on_readonly_descriptor(sc):
+    sc.write_text("/f", "data")
+    fd = sc.open("/f", O_RDONLY)
+    with pytest.raises(BadFileDescriptor):
+        sc.pwrite(fd, b"x", 0)  # EBADF, exactly as write() reports it
+    sc.close(fd)
+    assert sc.read_text("/f") == "data"
+
+
+def test_pwrite_at_offset(sc):
+    sc.write_text("/f", "aaaaaa")
+    fd = sc.open("/f", O_RDWR)
+    sc.pwrite(fd, b"ZZ", 2)
+    sc.close(fd)
+    assert sc.read_text("/f") == "aaZZaa"
