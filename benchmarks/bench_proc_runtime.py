@@ -1,0 +1,245 @@
+"""Process runtime benchmark: epoll-batched wakeups vs per-instance wakeups.
+
+Standalone runner (not part of the pytest-benchmark suite):
+
+    PYTHONPATH=src python benchmarks/bench_proc_runtime.py [--quick] [--out F]
+
+The workload is E4's fan-out shape under the process runtime: a driver
+delivers each packet-in round to one buffer directory per (app, switch)
+pair, and N supervised application processes consume them.  Two schemes
+consume the *same* delivery schedule:
+
+* **epoll** — each app is a :class:`~repro.proc.process.Process`: all of
+  its buffer watches share one inotify registered in one epoll set, so a
+  delivery burst costs one scheduled wakeup per process;
+* **per-instance** — the pre-runtime plumbing: one inotify instance per
+  buffer, each with its own ``wakeup`` callback and pending-flag, so a
+  burst costs one scheduled wakeup per *watch instance*.
+
+Both schemes must deliver exactly the same number of events (asserted);
+the figure of merit is simulator events dispatched for the wakeup
+machinery, which the epoll scheme may never exceed.  Emits
+``BENCH_proc_runtime.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+from repro.proc import ON_CRASH, ProcState, Process, ProcessTable
+from repro.sim import Simulator
+from repro.vfs.notify import EventMask
+from repro.vfs.syscalls import Syscalls
+from repro.vfs.vfs import VirtualFileSystem
+
+QUICK = {"apps": 4, "switches": 4, "rounds": 5}
+FULL = {"apps": 8, "switches": 8, "rounds": 20}
+ROUND_GAP = 0.01  # s between delivery bursts — far beyond the wakeup latency
+
+
+def _make_host():
+    sim = Simulator()
+    vfs = VirtualFileSystem(clock=lambda: sim.now)
+    sc = Syscalls(vfs)
+    table = ProcessTable(sc, sim)
+    return sim, sc, table
+
+
+def _make_buffers(sc: Syscalls, n_apps: int, n_switches: int) -> None:
+    for i in range(n_apps):
+        for j in range(n_switches):
+            sc.makedirs(f"/bufs/app{i}/sw{j}")
+
+
+def _schedule_deliveries(sim: Simulator, sc: Syscalls, n_apps: int, n_switches: int, rounds: int) -> int:
+    """One simulator event per round writes every (app, switch) buffer."""
+
+    def deliver(round_no: int) -> None:
+        for i in range(n_apps):
+            for j in range(n_switches):
+                sc.write_bytes(f"/bufs/app{i}/sw{j}/pkt{round_no}", b"miss")
+
+    for r in range(rounds):
+        sim.schedule((r + 1) * ROUND_GAP, lambda r=r: deliver(r))
+    return rounds  # writer events scheduled
+
+
+class FanoutApp(Process):
+    """One supervised process watching all of its per-switch buffers."""
+
+    def __init__(self, ctx, sim, index: int, n_switches: int) -> None:
+        super().__init__(ctx, sim, name=f"app{index}")
+        self.index = index
+        self.n_switches = n_switches
+        self.received = 0
+
+    def on_start(self) -> None:
+        for j in range(self.n_switches):
+            self.watch(f"/bufs/app{self.index}/sw{j}", EventMask.IN_CREATE, ("buf", j))
+
+    def on_event(self, ctx, event) -> None:
+        self.received += 1
+
+
+class PerInstanceApp:
+    """The deleted plumbing, rebuilt: one inotify + wakeup per buffer."""
+
+    def __init__(self, sc: Syscalls, sim: Simulator, index: int, n_switches: int) -> None:
+        self.sc = sc
+        self.sim = sim
+        self.received = 0
+        self._instances = []
+        for j in range(n_switches):
+            ino = sc.inotify_init()
+            sc.inotify_add_watch(ino, f"/bufs/app{index}/sw{j}", EventMask.IN_CREATE)
+            pending = [False]
+
+            def wake(ino=ino, pending=pending):
+                if pending[0]:
+                    return
+                pending[0] = True
+                self.sim.schedule(1e-5, lambda: self._drain(ino, pending))
+
+            ino.wakeup = wake
+            self._instances.append(ino)
+
+    def _drain(self, ino, pending) -> None:
+        pending[0] = False
+        self.received += len(self.sc.inotify_read(ino))
+
+
+def run_epoll(cfg: dict) -> dict:
+    sim, sc, table = _make_host()
+    _make_buffers(sc, cfg["apps"], cfg["switches"])
+    apps = []
+    for i in range(cfg["apps"]):
+        app = FanoutApp(table.spawn(), sim, i, cfg["switches"])
+        table.supervise(app, ON_CRASH)
+        apps.append(app.start())
+    writer_events = _schedule_deliveries(sim, sc, cfg["apps"], cfg["switches"], cfg["rounds"])
+    t0 = time.perf_counter()
+    sim.run()
+    wall = time.perf_counter() - t0
+    assert all(a.state is ProcState.BLOCKED for a in apps)
+    return {
+        "delivered": sum(a.received for a in apps),
+        "sim_events": sim.dispatched,
+        "wakeup_dispatches": sim.dispatched - writer_events,
+        "wall_s": wall,
+        "apps": apps,
+        "table": table,
+        "sim": sim,
+        "sc": sc,
+    }
+
+
+def run_per_instance(cfg: dict) -> dict:
+    sim, sc, table = _make_host()
+    _make_buffers(sc, cfg["apps"], cfg["switches"])
+    apps = [PerInstanceApp(table.root_sc.spawn(), sim, i, cfg["switches"]) for i in range(cfg["apps"])]
+    writer_events = _schedule_deliveries(sim, sc, cfg["apps"], cfg["switches"], cfg["rounds"])
+    t0 = time.perf_counter()
+    sim.run()
+    wall = time.perf_counter() - t0
+    return {
+        "delivered": sum(a.received for a in apps),
+        "sim_events": sim.dispatched,
+        "wakeup_dispatches": sim.dispatched - writer_events,
+        "wall_s": wall,
+    }
+
+
+def exercise_supervision(epoll_run: dict) -> dict:
+    """Crash one supervised app mid-stream; it must come back on its own."""
+    sim, sc, table = epoll_run["sim"], epoll_run["sc"], epoll_run["table"]
+    victim = epoll_run["apps"][0]
+
+    original = victim.on_event
+
+    def faulty(ctx, event):
+        victim.on_event = original
+        raise RuntimeError("injected fault")
+
+    victim.on_event = faulty
+    sc.write_bytes(f"/bufs/app{victim.index}/sw0/boom", b"x")
+    sim.run()
+    sc.write_bytes(f"/bufs/app{victim.index}/sw0/after", b"x")
+    sim.run()
+    return {
+        "crashes": victim.crashes,
+        "restarts": victim.restarts,
+        "state_after": victim.state.value,
+        "events_after_restart": victim.received,
+        "restart_counter": table.counters.get("proc.restarts"),
+    }
+
+
+def run(quick: bool) -> dict:
+    cfg = QUICK if quick else FULL
+    expected = cfg["apps"] * cfg["switches"] * cfg["rounds"]
+
+    epoll = run_epoll(cfg)
+    baseline = run_per_instance(cfg)
+
+    assert epoll["delivered"] == baseline["delivered"] == expected, (
+        f"delivery parity broken: epoll={epoll['delivered']} "
+        f"baseline={baseline['delivered']} expected={expected}"
+    )
+    assert epoll["wakeup_dispatches"] <= baseline["wakeup_dispatches"], (
+        "epoll-batched wakeups dispatched more simulator events than the "
+        "per-instance baseline"
+    )
+
+    supervision = exercise_supervision(epoll)
+    assert supervision["state_after"] == "blocked" and supervision["restarts"] >= 1
+
+    return {
+        "benchmark": "proc_runtime",
+        "workload": (
+            f"{cfg['rounds']} delivery rounds fanned out to "
+            f"{cfg['apps']} supervised apps x {cfg['switches']} switch buffers"
+        ),
+        "quick": quick,
+        "delivered_events_each": expected,
+        "behavior_parity": "identical delivered-event counts, epoll vs per-instance",
+        "epoll": {k: epoll[k] for k in ("sim_events", "wakeup_dispatches")},
+        "per_instance": {k: baseline[k] for k in ("sim_events", "wakeup_dispatches")},
+        "wakeup_dispatch_ratio": round(
+            baseline["wakeup_dispatches"] / max(epoll["wakeup_dispatches"], 1), 2
+        ),
+        "wall_s_epoll": round(epoll["wall_s"], 4),
+        "wall_s_per_instance": round(baseline["wall_s"], 4),
+        "supervision": supervision,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="smaller workload (CI smoke)")
+    parser.add_argument("--out", default="BENCH_proc_runtime.json", help="output JSON path")
+    parser.add_argument(
+        "--min-ratio",
+        type=float,
+        default=0.0,
+        help="fail (exit 1) if baseline/epoll wakeup-dispatch ratio falls below this",
+    )
+    args = parser.parse_args(argv)
+    result = run(quick=args.quick)
+    with open(args.out, "w") as fh:
+        json.dump(result, fh, indent=2)
+        fh.write("\n")
+    print(json.dumps(result, indent=2))
+    if args.min_ratio and result["wakeup_dispatch_ratio"] < args.min_ratio:
+        print(
+            f"ratio {result['wakeup_dispatch_ratio']} < required {args.min_ratio}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -8,9 +8,9 @@ in-source comments:
   those rules for that line (``disable=all`` silences everything);
 * ``# yanclint: disable-file=<rule>`` anywhere silences a rule for the
   whole file;
-* ``# yanclint: scope=<app|example|vfs|clock>`` declares the file's scope
-  explicitly, overriding the path-derived default (used by test fixtures
-  that live outside the real ``apps/``/``vfs/`` trees).
+* ``# yanclint: scope=<app|driver|example|vfs|clock>`` declares the file's
+  scope explicitly, overriding the path-derived default (used by test
+  fixtures that live outside the real ``apps/``/``vfs/`` trees).
 """
 
 from __future__ import annotations
@@ -102,6 +102,8 @@ def scopes_from_path(path: str) -> set[str]:
 
     * ``app``     — application-side code (src ``apps/`` and ``shell/``):
       may only reach the network through file I/O;
+    * ``driver``  — device-facing daemons (``drivers/``, ``middlebox/``,
+      ``distfs/``): run as processes; scheduling goes through Process;
     * ``example`` — ``examples/`` scripts: may build the simulated hardware
       but must not bypass the file interface to *control* it;
     * ``vfs``     — ``vfs/`` and ``yancfs/``: raises must be typed;
@@ -117,6 +119,8 @@ def scopes_from_path(path: str) -> set[str]:
     scopes: set[str] = set()
     if "apps" in segments or "shell" in segments:
         scopes.add("app")
+    if "drivers" in segments or "middlebox" in segments or "distfs" in segments:
+        scopes.add("driver")
     if "examples" in segments:
         scopes.add("example")
     if "vfs" in segments or "yancfs" in segments:
@@ -180,6 +184,6 @@ def register(rule: Rule) -> Rule:
 def all_rules() -> dict[str, Rule]:
     """The registry, importing the built-in rule modules on first use."""
     # Imported lazily so `core` stays dependency-free for the sanitizer.
-    from repro.analysis import determinism, errordiscipline, hygiene, schemacoverage, vfsbypass  # noqa: F401
+    from repro.analysis import determinism, errordiscipline, hygiene, procdiscipline, schemacoverage, vfsbypass  # noqa: F401
 
     return dict(_REGISTRY)

@@ -1,0 +1,66 @@
+"""Rule ``proc-discipline``: apps and drivers schedule through their Process.
+
+The process runtime (:mod:`repro.proc.process`) is the only sanctioned
+path from application-side code to the simulator: ``Process.every`` and
+``Process.schedule`` wrap the callback in crash containment (a raising
+handler crashes *that process*, never the whole run), stop it with the
+process, and charge the scheduled CPU to the process's cgroup.  Calling
+``sim.schedule``/``sim.schedule_at``/``sim.every`` directly from an app
+or driver sidesteps all three — the duplicated wakeup plumbing this PR
+deleted grew exactly that way.
+
+Scopes: ``app`` (``src/repro/apps``, ``src/repro/shell``) and ``driver``
+(``src/repro/drivers``, ``src/repro/middlebox``, ``src/repro/distfs``).
+Infrastructure that legitimately owns raw simulator time — the dataplane,
+control channels, the process runtime itself — is outside both.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.core import Finding, Rule, Severity, SourceFile, register
+
+_SCHEDULING_ATTRS = {"schedule", "schedule_at", "every"}
+
+
+def _simulator_receiver(func: ast.Attribute) -> str | None:
+    """The dotted receiver text when it looks like a Simulator, else None."""
+    receiver = func.value
+    if isinstance(receiver, ast.Name) and receiver.id.lstrip("_").endswith("sim"):
+        return receiver.id
+    if isinstance(receiver, ast.Attribute) and receiver.attr.lstrip("_").endswith("sim"):
+        prefix = receiver.value.id + "." if isinstance(receiver.value, ast.Name) else ""
+        return prefix + receiver.attr
+    return None
+
+
+class ProcDisciplineRule(Rule):
+    id = "proc-discipline"
+    severity = Severity.ERROR
+    description = (
+        "apps/ and drivers/ must not call sim.schedule/sim.every directly; "
+        "use the Process helpers (every/schedule) so work is crash-contained, "
+        "stops with the process, and bills its cgroup"
+    )
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        if "app" not in src.scopes and "driver" not in src.scopes:
+            return
+        for node in ast.walk(src.tree):
+            if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+                continue
+            if node.func.attr not in _SCHEDULING_ATTRS:
+                continue
+            receiver = _simulator_receiver(node.func)
+            if receiver is not None:
+                yield self.finding(
+                    src,
+                    node,
+                    f"{receiver}.{node.func.attr}() schedules on the simulator directly, skipping crash "
+                    "containment and cgroup accounting; use the Process helpers (self.every/self.schedule)",
+                )
+
+
+register(ProcDisciplineRule())

@@ -2,18 +2,19 @@
 
 Every yanc application is an ordinary process (paper section 2): it gets a
 :class:`~repro.vfs.Syscalls` context, watches parts of the tree with
-inotify, and reacts.  :class:`YancApp` provides the event-loop plumbing —
-watch bookkeeping, simulator-scheduled wakeups, periodic tasks — and
-:class:`PacketInApp` adds the common pattern of subscribing a private
-packet-in buffer on every switch (including ones that appear later).
+inotify, and reacts.  :class:`YancApp` is a thin skin over
+:class:`~repro.proc.process.Process` — the run loop, epoll-batched
+wakeups, watch bookkeeping, periodic tasks, and crash containment all
+live there — adding only the yanc-specific client.  :class:`PacketInApp`
+adds the common pattern of subscribing a private packet-in buffer on
+every switch (including ones that appear later).
 """
 
 from __future__ import annotations
 
-from typing import Callable
-
+from repro.proc.process import Process
 from repro.sim import Simulator
-from repro.vfs.errors import FileNotFound, FsError
+from repro.vfs.errors import FsError
 from repro.vfs.notify import EventMask, NotifyEvent
 from repro.vfs.syscalls import Syscalls
 from repro.yancfs.client import PacketInEvent, YancClient
@@ -21,85 +22,17 @@ from repro.yancfs.client import PacketInEvent, YancClient
 _DIR_MASK = EventMask.IN_CREATE | EventMask.IN_DELETE | EventMask.IN_MOVED_FROM | EventMask.IN_MOVED_TO
 
 
-class YancApp:
-    """Event-driven application skeleton."""
+class YancApp(Process):
+    """Event-driven application skeleton (a supervised-capable process)."""
 
     #: Override: the application's name (used for event buffers, logs).
     app_name = "app"
 
-    def __init__(self, sc: Syscalls, sim: Simulator, *, root: str = "/net", name: str = "") -> None:
+    def __init__(self, sc: "Syscalls | Process", sim: Simulator, *, root: str = "/net", name: str = "") -> None:
         if name:
             self.app_name = name
-        self.sc = sc
-        self.sim = sim
-        self.yc = YancClient(sc, root)
-        self.ino = sc.inotify_init()
-        self.ino.wakeup = self._schedule_wake
-        self._watch_ctx: dict[int, tuple] = {}
-        self._wake_pending = False
-        self._tasks = []
-        self.running = False
-
-    # -- lifecycle -----------------------------------------------------------------
-
-    def start(self) -> "YancApp":
-        """Begin watching/processing.  Subclasses extend via on_start()."""
-        self.running = True
-        self.on_start()
-        return self
-
-    def stop(self) -> None:
-        """Stop all periodic work and drop every watch."""
-        self.running = False
-        for task in self._tasks:
-            task.stop()
-        self._tasks.clear()
-        self.ino.close()
-        self._watch_ctx.clear()
-        self.on_stop()
-
-    def on_start(self) -> None:
-        """Subclass hook: set up watches and tasks."""
-
-    def on_stop(self) -> None:
-        """Subclass hook: final cleanup."""
-
-    # -- plumbing -------------------------------------------------------------------
-
-    def every(self, interval: float, fn: Callable[[], None], *, start_delay: float | None = None) -> None:
-        """Run ``fn`` periodically until the app stops."""
-        self._tasks.append(self.sim.every(interval, fn, start_delay=start_delay))
-
-    def watch(self, path: str, mask: EventMask, ctx: tuple) -> bool:
-        """Watch ``path``; True on success (False when it vanished)."""
-        try:
-            wd = self.sc.inotify_add_watch(self.ino, path, mask)
-        except (FileNotFound, FsError):
-            return False
-        self._watch_ctx[wd] = ctx
-        return True
-
-    def _schedule_wake(self) -> None:
-        if self._wake_pending or not self.running:
-            return
-        self._wake_pending = True
-        self.sim.schedule(1e-5, self._drain)
-
-    def _drain(self) -> None:
-        self._wake_pending = False
-        if not self.running:
-            return
-        for event in self.sc.inotify_read(self.ino):
-            ctx = self._watch_ctx.get(event.wd)
-            if ctx is None:
-                continue
-            try:
-                self.on_event(ctx, event)
-            except FsError:
-                continue  # tree changed under us; later events resolve it
-
-    def on_event(self, ctx: tuple, event: NotifyEvent) -> None:
-        """Subclass hook: handle one inotify event."""
+        super().__init__(sc, sim, name=self.app_name)
+        self.yc = YancClient(self.sc, root)
 
 
 class PacketInApp(YancApp):
@@ -135,6 +68,9 @@ class PacketInApp(YancApp):
             if event.mask & (EventMask.IN_CREATE | EventMask.IN_MOVED_TO) and event.name:
                 self._subscribe(event.name)
             elif event.mask & (EventMask.IN_DELETE | EventMask.IN_MOVED_FROM) and event.name:
+                # Drop the buffer watch with the switch, or the stale wd
+                # (and its context entry) would leak for the app's lifetime.
+                self.unwatch(("buffer", event.name))
                 self.on_switch_removed(event.name)
         elif kind == "buffer":
             switch = ctx[1]

@@ -65,7 +65,7 @@ class ControllerCluster:
         self.rpc_latency = rpc_latency
         self.consistency = consistency
         self.cache_ttl = cache_ttl
-        self.server = FileServer(master.root_sc.spawn(), master.mount_point)
+        self.server = FileServer(master.process(), master.mount_point)
         self.workers: list[WorkerMachine] = []
 
     def add_worker(self, name: str = "") -> WorkerMachine:

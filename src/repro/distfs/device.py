@@ -26,17 +26,24 @@ from repro.dataplane.switch import PacketInReason, PortSim, SwitchSim
 from repro.distfs.client import RemoteFs
 from repro.distfs.rpc import RpcChannel
 from repro.distfs.server import FileServer
+from repro.proc.process import Process
 from repro.runtime import ControllerHost
-from repro.vfs.errors import FileExists, FsError
 from repro.vfs.syscalls import Syscalls
+from repro.vfs.errors import FileExists, FsError
 from repro.vfs.vfs import VirtualFileSystem
 from repro.yancfs.client import YancClient
 
 MAX_PENDING_EVENTS = 256
 
 
-class DeviceRuntime:
-    """One self-controlled switch over a remote-mounted /net."""
+class DeviceRuntime(Process):
+    """One self-controlled switch over a remote-mounted /net.
+
+    The device's resident agent is a process *registered on the master's
+    process table* — it shows up in the master's ``/proc`` and its
+    scheduled polls are charged to its cgroup — but runs against its own
+    local VFS with the master's tree remote-mounted at ``/net``.
+    """
 
     def __init__(
         self,
@@ -48,13 +55,13 @@ class DeviceRuntime:
         rpc_latency: float = 2e-4,
         consistency: str = "strict",
     ) -> None:
+        vfs = VirtualFileSystem(clock=lambda: master.sim.now)
+        super().__init__(Syscalls(vfs), master.sim, name=f"dev-{switch.name}")
         self.switch = switch
         self.master = master
-        self.sim = master.sim
         self.poll_interval = poll_interval
-        self.server = server or FileServer(master.root_sc.spawn(), master.mount_point)
-        self.vfs = VirtualFileSystem(clock=lambda: self.sim.now)
-        self.sc = Syscalls(self.vfs)
+        self.server = server if server is not None else FileServer(master.process(), master.mount_point)
+        self.vfs = vfs
         self.channel = RpcChannel(self.server.handle, latency=rpc_latency, counters=self.vfs.counters, name=f"dev-{switch.name}")
         self.fs = RemoteFs(self.channel, consistency=consistency, clock=lambda: self.sim.now)
         self.sc.mkdir("/net")
@@ -68,10 +75,11 @@ class DeviceRuntime:
         self.flows_applied = 0
         self.events_published = 0
         switch.controller = self
+        master.procs.register(self)
 
     # -- lifecycle ------------------------------------------------------------------
 
-    def start(self) -> "DeviceRuntime":
+    def on_start(self) -> None:
         """Register in the tree and begin the poll loop."""
         path = self.yc.switch_path(self.fs_name)
         if not self.sc.exists(path):
@@ -82,16 +90,14 @@ class DeviceRuntime:
         for port_no in sorted(self.switch.ports):
             if not self.sc.exists(self.yc.port_path(self.fs_name, port_no)):
                 self.yc.create_port(self.fs_name, port_no)
-        self._task = self.sim.every(self.poll_interval, self.poll, start_delay=0.0)
-        return self
+        self._task = self.every(self.poll_interval, self.poll, start_delay=0.0)
 
     def stop(self) -> None:
         """Stop polling (the tree keeps the device's last-known state)."""
-        if self._task is not None:
-            self._task.stop()
-            self._task = None
+        self._task = None
         if self.switch.controller is self:
             self.switch.controller = None
+        super().stop()
 
     # -- the poll loop -----------------------------------------------------------------
 

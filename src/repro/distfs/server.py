@@ -8,21 +8,28 @@ computational workload among multiple machines").
 
 from __future__ import annotations
 
+from repro.proc.process import Process
 from repro.vfs.errors import FsError, InvalidArgument
 from repro.vfs.syscalls import Syscalls
 
 
-class FileServer:
-    """Dispatches remote-FS operations against a local subtree."""
+class FileServer(Process):
+    """Dispatches remote-FS operations against a local subtree.
 
-    def __init__(self, sc: Syscalls, export_root: str, *, service_time: float = 5e-5) -> None:
-        self.sc = sc
+    The server daemon is a :class:`~repro.proc.process.Process` (spawn it
+    via ``host.process()`` and it appears in ``/proc``), though a passive
+    one: it never blocks in epoll — RPC arrivals drive it directly.
+    """
+
+    def __init__(self, sc: "Syscalls | Process", export_root: str, *, service_time: float = 5e-5) -> None:
+        super().__init__(sc, name="fileserverd")
         self.export_root = export_root.rstrip("/") or "/"
         self.ops_served = 0
         #: CPU seconds the server spends per operation; the shared-server
         #: bottleneck that makes distributed-controller scaling sub-linear.
         self.service_time = service_time
         self.busy_time = 0.0
+        self.start()
 
     def _resolve(self, rpath: str) -> str:
         if ".." in rpath.split("/"):

@@ -33,8 +33,9 @@ from repro.openflow.codec import codec_for, negotiate, peek_version
 from repro.openflow.of10 import VERSION as OF10_VERSION
 from repro.openflow.of10 import CodecError
 from repro.openflow.of13 import VERSION as OF13_VERSION
+from repro.proc.process import Process
 from repro.sim import Simulator
-from repro.vfs.errors import FileNotFound, FsError
+from repro.vfs.errors import FsError
 from repro.vfs.notify import EventMask
 from repro.vfs.syscalls import Syscalls
 from repro.yancfs.client import YancClient
@@ -109,12 +110,18 @@ class SwitchBinding:
         self.conn.close()
 
 
-class OpenFlowDriver:
-    """One driver process for one protocol version."""
+class OpenFlowDriver(Process):
+    """One driver process for one protocol version.
+
+    The run loop (epoll over the driver's watches), watch bookkeeping,
+    periodic tasks, and crash containment are inherited from
+    :class:`~repro.proc.process.Process`; a driver is live — running, as
+    a process — from construction.
+    """
 
     def __init__(
         self,
-        sc: Syscalls,
+        sc: "Syscalls | Process",
         sim: Simulator,
         *,
         version: int = OF10_VERSION,
@@ -125,22 +132,19 @@ class OpenFlowDriver:
     ) -> None:
         if version not in (OF10_VERSION, OF13_VERSION):
             raise ValueError(f"unsupported driver version {version:#x}")
-        self.sc = sc
-        self.sim = sim
+        driver_name = name or f"of{'10' if version == OF10_VERSION else '13'}-driver"
+        super().__init__(sc, sim, name=driver_name)
         self.version = version
-        self.name = name or f"of{'10' if version == OF10_VERSION else '13'}-driver"
-        self.yc = YancClient(sc, root)
+        self.name = driver_name
+        self.yc = YancClient(self.sc, root)
         self.channel_latency = channel_latency
         self.stats_interval = stats_interval
         self.bindings: dict[int, SwitchBinding] = {}
-        self.ino = sc.inotify_init()
-        self.ino.wakeup = self._schedule_process
-        self._watch_ctx: dict[int, tuple] = {}
-        self._wake_pending = False
         self._stats_task = None
         self._root_watch_added = False
         self.flow_mods_sent = 0
         self.packet_ins_handled = 0
+        self.start()
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -160,7 +164,7 @@ class OpenFlowDriver:
         binding.send(m.FeaturesRequest())
         self.bindings[switch.dpid] = binding
         if self._stats_task is None and self.stats_interval > 0:
-            self._stats_task = self.sim.every(self.stats_interval, self._poll_stats)
+            self._stats_task = self.every(self.stats_interval, self._poll_stats)
         return binding
 
     def detach_switch(self, dpid: int) -> None:
@@ -171,46 +175,20 @@ class OpenFlowDriver:
         binding.close()
         for wd, ctx in list(self._watch_ctx.items()):
             if len(ctx) > 1 and ctx[1] == dpid:
-                self.ino.rm_watch(wd)
                 del self._watch_ctx[wd]
+                self.ino.rm_watch(wd)
 
     def stop(self) -> None:
-        """Detach every switch and stop periodic work."""
+        """Detach every switch, stop periodic work, and exit."""
         for dpid in list(self.bindings):
             self.detach_switch(dpid)
-        if self._stats_task is not None:
-            self._stats_task.stop()
-            self._stats_task = None
-        self.ino.close()
-        self._watch_ctx.clear()
+        self._stats_task = None
+        self._root_watch_added = False
+        super().stop()
 
-    # -- inotify plumbing -----------------------------------------------------------
+    # -- event dispatch -----------------------------------------------------------
 
-    def _schedule_process(self) -> None:
-        if self._wake_pending:
-            return
-        self._wake_pending = True
-        self.sim.schedule(1e-5, self._process_events)
-
-    def _watch(self, path: str, mask: EventMask, ctx: tuple) -> None:
-        try:
-            wd = self.sc.inotify_add_watch(self.ino, path, mask)
-        except FileNotFound:
-            return
-        self._watch_ctx[wd] = ctx
-
-    def _process_events(self) -> None:
-        self._wake_pending = False
-        for event in self.sc.inotify_read(self.ino):
-            ctx = self._watch_ctx.get(event.wd)
-            if ctx is None:
-                continue
-            try:
-                self._dispatch_event(ctx, event)
-            except FsError:
-                continue  # racing with concurrent tree edits; next event wins
-
-    def _dispatch_event(self, ctx: tuple, event) -> None:
+    def on_event(self, ctx: tuple, event) -> None:
         kind = ctx[0]
         if kind == "switches_root":
             self._on_root_event(event)
@@ -244,7 +222,7 @@ class OpenFlowDriver:
             return
         if event.mask & (EventMask.IN_CREATE | EventMask.IN_MOVED_TO):
             path = self.yc.flow_path(binding.fs_name, event.name)
-            self._watch(path, _FLOW_WATCH_MASK, ("flow", dpid, event.name))
+            self.watch(path, _FLOW_WATCH_MASK, ("flow", dpid, event.name))
             binding.flows.setdefault(event.name, _FlowState(name=event.name))
             # A moved-in flow may already be committed.
             self._sync_flow(binding, event.name)
@@ -406,11 +384,11 @@ class OpenFlowDriver:
         self.sc.write_text(f"{path}/capabilities", f"{msg.capabilities:#x}")
         self.sc.write_text(f"{path}/actions", "output,set_dl,set_nw,set_tp,vlan")
         if not self._root_watch_added:
-            self._watch(f"{self.yc.root}/switches", _DIR_WATCH_MASK, ("switches_root",))
+            self.watch(f"{self.yc.root}/switches", _DIR_WATCH_MASK, ("switches_root",))
             self._root_watch_added = True
-        self._watch(f"{path}/flows", _DIR_WATCH_MASK, ("flows", msg.dpid))
-        self._watch(f"{path}/events", _DIR_WATCH_MASK, ("events", msg.dpid))
-        self._watch(f"{path}/packet_out", _DIR_WATCH_MASK | EventMask.IN_CLOSE_WRITE, ("pktout", msg.dpid))
+        self.watch(f"{path}/flows", _DIR_WATCH_MASK, ("flows", msg.dpid))
+        self.watch(f"{path}/events", _DIR_WATCH_MASK, ("events", msg.dpid))
+        self.watch(f"{path}/packet_out", _DIR_WATCH_MASK | EventMask.IN_CLOSE_WRITE, ("pktout", msg.dpid))
         for port in msg.ports:
             self._ensure_port(binding, port)
         if binding.version == OF13_VERSION:
@@ -435,7 +413,7 @@ class OpenFlowDriver:
     def _adopt_existing_state(self, binding: SwitchBinding) -> None:
         """Live upgrade: re-assert committed flows, re-learn app buffers."""
         for flow_name in self.yc.flows(binding.fs_name):
-            self._watch(
+            self.watch(
                 self.yc.flow_path(binding.fs_name, flow_name),
                 _FLOW_WATCH_MASK,
                 ("flow", binding.dpid, flow_name),
@@ -448,7 +426,7 @@ class OpenFlowDriver:
             apps = []
         binding.event_apps = list(apps)
         for port_name in self.yc.ports(binding.fs_name):
-            self._watch(
+            self.watch(
                 self.yc.port_path(binding.fs_name, port_name),
                 _FLOW_WATCH_MASK,
                 ("port", binding.dpid, port_name),
@@ -459,7 +437,7 @@ class OpenFlowDriver:
         path = self.yc.port_path(binding.fs_name, name)
         if not self.sc.exists(path):
             self.yc.create_port(binding.fs_name, port.port_no)
-            self._watch(path, _FLOW_WATCH_MASK, ("port", binding.dpid, name))
+            self.watch(path, _FLOW_WATCH_MASK, ("port", binding.dpid, name))
         from repro.netpkt.addr import MacAddress
 
         self.sc.write_text(f"{path}/hw_addr", str(MacAddress(port.hw_addr)))

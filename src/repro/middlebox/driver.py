@@ -22,6 +22,7 @@ from ipaddress import IPv4Address
 
 from repro.middlebox.device import NatEntry, NatMiddlebox
 from repro.netpkt.ipv4 import IPPROTO_TCP, IPPROTO_UDP
+from repro.proc.process import Process
 from repro.sim import Simulator
 from repro.vfs.errors import FileExists, FsError
 from repro.vfs.notify import EventMask
@@ -39,22 +40,30 @@ _PROTO_BY_NAME = {"tcp": IPPROTO_TCP, "udp": IPPROTO_UDP}
 _NAME_BY_PROTO = {value: key for key, value in _PROTO_BY_NAME.items()}
 
 
-class MiddleboxDriver:
-    """FS <-> device synchronization for stateful middleboxes."""
+class MiddleboxDriver(Process):
+    """FS <-> device synchronization for stateful middleboxes.
 
-    def __init__(self, sc: Syscalls, sim: Simulator, *, root: str = "/net", counter_interval: float = 1.0) -> None:
-        self.sc = sc
-        self.sim = sim
+    Runs as a process: the epoll run loop, watch bookkeeping, periodic
+    tasks, and crash containment come from
+    :class:`~repro.proc.process.Process`; live from construction.
+    """
+
+    def __init__(
+        self,
+        sc: "Syscalls | Process",
+        sim: Simulator,
+        *,
+        root: str = "/net",
+        counter_interval: float = 1.0,
+    ) -> None:
+        super().__init__(sc, sim, name="mbox-driver")
         self.root = root
         self.counter_interval = counter_interval
         self.devices: dict[str, NatMiddlebox] = {}
-        self.ino = sc.inotify_init()
-        self.ino.wakeup = self._schedule
-        self._watch_ctx: dict[int, tuple] = {}
-        self._wake_pending = False
         self._counter_task = None
         self.migrations_in = 0
         self.migrations_out = 0
+        self.start()
 
     # -- lifecycle ------------------------------------------------------------------
 
@@ -70,11 +79,11 @@ class MiddleboxDriver:
         self.sc.write_text(f"{path}/public_ip", str(device.public_ip))
         self.devices[device.name] = device
         device.on_state_change = lambda kind, entry, name=device.name: self._on_device_change(name, kind, entry)
-        self._watch(f"{path}/state", _STATE_MASK, ("state", device.name))
+        self.watch(f"{path}/state", _STATE_MASK, ("state", device.name))
         for entry in device.entries():
             self._write_entry(device.name, entry)
         if self._counter_task is None and self.counter_interval > 0:
-            self._counter_task = self.sim.every(self.counter_interval, self._sync_counters)
+            self._counter_task = self.every(self.counter_interval, self._sync_counters)
         return path
 
     def stop(self) -> None:
@@ -82,49 +91,23 @@ class MiddleboxDriver:
         for device in self.devices.values():
             device.on_state_change = None
         self.devices.clear()
-        if self._counter_task is not None:
-            self._counter_task.stop()
-            self._counter_task = None
-        self.ino.close()
-        self._watch_ctx.clear()
+        self._counter_task = None
+        super().stop()
 
-    # -- plumbing --------------------------------------------------------------------
+    # -- event dispatch ---------------------------------------------------------------
 
-    def _watch(self, path: str, mask: EventMask, ctx: tuple) -> None:
-        try:
-            wd = self.sc.inotify_add_watch(self.ino, path, mask)
-        except FsError:
-            return
-        self._watch_ctx[wd] = ctx
-
-    def _schedule(self) -> None:
-        if self._wake_pending:
-            return
-        self._wake_pending = True
-        self.sim.schedule(1e-5, self._drain)
-
-    def _drain(self) -> None:
-        self._wake_pending = False
-        for event in self.sc.inotify_read(self.ino):
-            ctx = self._watch_ctx.get(event.wd)
-            if ctx is None:
-                continue
-            try:
-                self._dispatch(ctx, event)
-            except FsError:
-                continue
-
-    def _dispatch(self, ctx: tuple, event) -> None:
+    def on_event(self, ctx: tuple, event) -> None:
         if ctx[0] == "state" and event.name is not None:
             mb_name = ctx[1]
             if event.mask & (EventMask.IN_CREATE | EventMask.IN_MOVED_TO):
                 if event.mask & EventMask.IN_MOVED_TO:
                     self.migrations_in += 1
-                self._watch(self._entry_path(mb_name, event.name), _ENTRY_MASK, ("entry", mb_name, event.name))
+                self.watch(self._entry_path(mb_name, event.name), _ENTRY_MASK, ("entry", mb_name, event.name))
                 self._sync_entry_to_device(mb_name, event.name)
             elif event.mask & (EventMask.IN_DELETE | EventMask.IN_MOVED_FROM):
                 if event.mask & EventMask.IN_MOVED_FROM:
                     self.migrations_out += 1
+                self.unwatch(("entry", mb_name, event.name))
                 device = self.devices.get(mb_name)
                 if device is not None:
                     device.remove_entry(event.name, notify=False)

@@ -1,11 +1,38 @@
-"""Process-management substrates: cron scheduling and control groups.
+"""Process management: the process runtime, cron, and control groups.
 
-The paper leans on stock Linux process machinery: cron for occasional
-programs like the auditor (§2) and cgroups for resource management (§5.3).
-Both are reproduced against the simulator clock.
+The paper leans on stock Linux process machinery: applications run as
+ordinary supervised processes (§2, §5.3), cron covers occasional programs
+like the auditor (§2), and cgroups provide resource management (§5.3).
+All of it is reproduced against the simulator clock.
 """
 
-from repro.proc.cron import Cron, CronJob
 from repro.proc.cgroups import Cgroup, CgroupManager, ResourceLimitExceeded
+from repro.proc.cron import Cron, CronJob
+from repro.proc.process import (
+    NEVER,
+    ON_CRASH,
+    ProcFs,
+    Process,
+    ProcessTable,
+    ProcState,
+    RestartPolicy,
+    Supervisor,
+    WAKEUP_LATENCY,
+)
 
-__all__ = ["Cron", "CronJob", "Cgroup", "CgroupManager", "ResourceLimitExceeded"]
+__all__ = [
+    "Cron",
+    "CronJob",
+    "Cgroup",
+    "CgroupManager",
+    "ResourceLimitExceeded",
+    "NEVER",
+    "ON_CRASH",
+    "ProcFs",
+    "Process",
+    "ProcessTable",
+    "ProcState",
+    "RestartPolicy",
+    "Supervisor",
+    "WAKEUP_LATENCY",
+]

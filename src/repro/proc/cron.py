@@ -1,11 +1,20 @@
-"""Interval cron on the simulator clock."""
+"""Interval cron on the simulator clock.
+
+The cron daemon is itself a :class:`~repro.proc.process.Process`: register
+it with the host's process table and it shows up in ``/proc`` with a PID
+like every other daemon, and its scheduled runs are charged to its cgroup.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
+from repro.proc.process import Process
 from repro.sim import Simulator
+
+if TYPE_CHECKING:
+    from repro.vfs.syscalls import Syscalls
 
 
 @dataclass
@@ -27,7 +36,7 @@ class CronJob:
     _task: object = field(default=None, repr=False)
 
 
-class Cron:
+class Cron(Process):
     """A cron daemon: named periodic jobs with failure isolation.
 
     A job that raises is counted as failed and keeps its schedule — one
@@ -35,16 +44,17 @@ class Cron:
     the paper wants the auditor *outside* the controller process.
     """
 
-    def __init__(self, sim: Simulator) -> None:
-        self.sim = sim
+    def __init__(self, sim: Simulator, *, ctx: "Syscalls | Process | None" = None, name: str = "cron") -> None:
+        super().__init__(ctx, sim, name=name)
         self.jobs: dict[str, CronJob] = {}
+        self.start()
 
     def add_job(self, name: str, interval: float, fn: Callable[[], None], *, start_delay: float | None = None) -> CronJob:
         """Schedule ``fn`` every ``interval`` seconds."""
         if name in self.jobs:
             raise ValueError(f"duplicate cron job {name!r}")
         job = CronJob(name=name, interval=interval, fn=fn)
-        job._task = self.sim.every(interval, lambda: self._run(job), start_delay=start_delay)
+        job._task = self.every(interval, lambda: self._run(job), start_delay=start_delay)
         self.jobs[name] = job
         return job
 
@@ -67,6 +77,7 @@ class Cron:
             job.last_error = exc
 
     def stop(self) -> None:
-        """Unschedule everything."""
+        """Unschedule everything and exit."""
         for name in list(self.jobs):
             self.remove_job(name)
+        super().stop()

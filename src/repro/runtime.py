@@ -11,6 +11,7 @@ from repro.analysis import sanitizer
 from repro.dataplane.network import Network
 from repro.drivers import OF10_VERSION, OpenFlowDriver
 from repro.perf.meter import SyscallMeter
+from repro.proc.process import Process, ProcessTable
 from repro.sim import Simulator
 from repro.vfs.cred import ROOT, Credentials
 from repro.vfs.syscalls import Syscalls
@@ -20,12 +21,13 @@ from repro.yancfs.schema import YancFs
 
 
 class ControllerHost:
-    """One controller machine: a VFS with yancfs mounted at /net.
+    """One controller machine: a VFS with yancfs at /net and procfs at /proc.
 
-    Applications are "processes" on this host: spawn one with
-    :meth:`process` and it gets its own credentials, fd table, and syscall
-    meter, all against the shared tree — exactly the multi-process,
-    multi-language story of the paper (each process only needs file I/O).
+    Applications are *processes* on this host: spawn one with
+    :meth:`process` and it gets a PID, its own credentials, fd table, and
+    syscall meter, a cgroup slot, and a ``/proc/<pid>`` directory — all
+    against the shared tree, exactly the multi-process, multi-language
+    story of the paper (each process only needs file I/O).
     """
 
     def __init__(self, sim: Simulator | None = None, *, name: str = "ctl", mount_point: str = "/net") -> None:
@@ -36,10 +38,14 @@ class ControllerHost:
         self.root_sc = Syscalls(self.vfs, cred=ROOT)
         self.mount_point = mount_point
         self.fs: YancFs = mount_yancfs(self.root_sc, mount_point)
+        self.procs = ProcessTable(self.root_sc, self.sim)
+        with self.root_sc.meter.pause():  # host assembly, not app traffic
+            self.root_sc.makedirs("/proc")
+            self.root_sc.mount("/proc", self.procs.procfs, source="proc")
 
-    def process(self, *, cred: Credentials = ROOT, meter: SyscallMeter | None = None) -> Syscalls:
-        """Spawn an application process context on this host."""
-        return self.root_sc.spawn(cred=cred, meter=meter)
+    def process(self, *, cred: Credentials = ROOT, meter: SyscallMeter | None = None, name: str = "") -> Process:
+        """Spawn an application process on this host (PID assigned)."""
+        return self.procs.spawn(cred=cred, meter=meter, name=name)
 
     def client(self, *, cred: Credentials = ROOT, meter: SyscallMeter | None = None) -> YancClient:
         """Spawn a process and wrap it in a :class:`YancClient`."""

@@ -19,10 +19,16 @@ class Event:
     seq: int
     fn: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    fired: bool = field(default=False, compare=False)
+    _sim: "Simulator | None" = field(default=None, compare=False, repr=False)
 
     def cancel(self) -> None:
         """Prevent this event from firing (no-op if already fired)."""
+        if self.cancelled or self.fired:
+            return
         self.cancelled = True
+        if self._sim is not None:
+            self._sim._live -= 1
 
 
 class Simulator:
@@ -33,6 +39,9 @@ class Simulator:
         self._seq = 0
         self._queue: list[Event] = []
         self._dispatched = 0
+        #: Live (not cancelled, not yet fired) events in the queue; kept
+        #: in step with schedule/cancel/dispatch so ``pending`` is O(1).
+        self._live = 0
 
     @property
     def now(self) -> float:
@@ -46,8 +55,13 @@ class Simulator:
 
     @property
     def pending(self) -> int:
-        """Number of events still queued (including cancelled ones)."""
-        return sum(1 for event in self._queue if not event.cancelled)
+        """Number of live (non-cancelled) events still queued.
+
+        O(1): a counter maintained at schedule/cancel/dispatch time, not a
+        scan of the heap — ``pending`` sits on monitoring paths that poll
+        it per tick against queues holding thousands of events.
+        """
+        return self._live
 
     def schedule(self, delay: float, fn: Callable[[], None]) -> Event:
         """Schedule ``fn`` to run ``delay`` seconds from now.
@@ -57,8 +71,9 @@ class Simulator:
         """
         if delay < 0:
             raise ValueError(f"delay must be >= 0, got {delay}")
-        event = Event(time=self._now + delay, seq=self._seq, fn=fn)
+        event = Event(time=self._now + delay, seq=self._seq, fn=fn, _sim=self)
         self._seq += 1
+        self._live += 1
         heapq.heappush(self._queue, event)
         return event
 
@@ -73,7 +88,9 @@ class Simulator:
         while self._queue:
             event = heapq.heappop(self._queue)
             if event.cancelled:
-                continue
+                continue  # its cancel() already dropped the live counter
+            event.fired = True
+            self._live -= 1
             self._now = event.time
             self._dispatched += 1
             event.fn()

@@ -46,6 +46,7 @@ from repro.vfs.inode import (
 from repro.vfs.memfs import MemFs
 from repro.vfs.mount import MountEntry, MountNamespace
 from repro.vfs.notify import IN_ALL_EVENTS, EventMask, Inotify, NotifyEvent, NotifyHub
+from repro.vfs.poll import EPOLL_CTL_ADD, EPOLL_CTL_DEL, Epoll
 from repro.vfs.stat import FileType, Stat, format_mode
 from repro.vfs.syscalls import (
     O_APPEND,
@@ -102,6 +103,9 @@ __all__ = [
     "Inotify",
     "NotifyEvent",
     "NotifyHub",
+    "EPOLL_CTL_ADD",
+    "EPOLL_CTL_DEL",
+    "Epoll",
     "FileType",
     "Stat",
     "format_mode",

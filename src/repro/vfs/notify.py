@@ -125,6 +125,25 @@ class Inotify:
         #: Called once whenever the queue goes empty -> non-empty; the
         #: simulation runtime uses it to schedule a daemon wakeup.
         self.wakeup: Callable[[], None] | None = None
+        #: Epoll instances watching this descriptor (see repro.vfs.poll);
+        #: they get the same empty -> non-empty edge as ``wakeup``.
+        self._pollers: list = []
+
+    # -- readiness (the pollable protocol, see repro.vfs.poll) ---------------
+
+    def readable(self) -> bool:
+        """True when at least one event is queued."""
+        return bool(self._queue)
+
+    def poll_register(self, poller) -> None:
+        """Attach an epoll instance to this descriptor's readiness edge."""
+        if poller not in self._pollers:
+            self._pollers.append(poller)
+
+    def poll_unregister(self, poller) -> None:
+        """Detach an epoll instance (no-op when not attached)."""
+        if poller in self._pollers:
+            self._pollers.remove(poller)
 
     def add_watch(self, inode: "Inode", mask: EventMask) -> int:
         """Watch ``inode`` for the events in ``mask``; returns the wd.
@@ -163,6 +182,7 @@ class Inotify:
             self._hub.unregister(watch)
         self._watches.clear()
         self._queue.clear()
+        self._pollers.clear()
 
     # -- hub side -------------------------------------------------------------
 
@@ -191,6 +211,8 @@ class Inotify:
         queue.append(event)
         if self.wakeup is not None:
             self.wakeup()
+        for poller in list(self._pollers):
+            poller.notify_readable(self)
 
 
 class NotifyHub:

@@ -15,11 +15,12 @@ from typing import Iterator
 from repro.perf.meter import SyscallMeter
 from repro.vfs.acl import Acl
 from repro.vfs.cred import ROOT, Credentials
-from repro.vfs.errors import BadFileDescriptor
+from repro.vfs.errors import BadFileDescriptor, InvalidArgument
 from repro.vfs.inode import Filesystem
 from repro.vfs.mount import MountNamespace
 from repro.vfs.notify import EventMask, Inotify, NotifyEvent
 from repro.vfs.path import clean, join, normalize
+from repro.vfs.poll import EPOLL_CTL_ADD, EPOLL_CTL_DEL, Epoll
 from repro.vfs.stat import Stat
 from repro.vfs.vfs import (
     O_APPEND,
@@ -364,6 +365,26 @@ class Syscalls:
         """read(2) on the inotify descriptor: drain queued events."""
         self.meter.enter("read")
         return instance.read()
+
+    def epoll_create(self) -> Epoll:
+        """epoll_create(2): a readiness set over notification descriptors."""
+        self.meter.enter("epoll_create")
+        return Epoll()
+
+    def epoll_ctl(self, ep: Epoll, op: int, pollable: object, data: object | None = None) -> None:
+        """epoll_ctl(2): add/remove a pollable; ``data`` rides the event."""
+        self.meter.enter("epoll_ctl")
+        if op == EPOLL_CTL_ADD:
+            ep.add(pollable, data)
+        elif op == EPOLL_CTL_DEL:
+            ep.remove(pollable)
+        else:
+            raise InvalidArgument(detail=f"unknown epoll_ctl op {op}")
+
+    def epoll_wait(self, ep: Epoll) -> list[object]:
+        """epoll_wait(2): the ``data`` of every ready pollable (no blocking)."""
+        self.meter.enter("epoll_wait")
+        return ep.wait()
 
     # -- traversal ---------------------------------------------------------------------
 

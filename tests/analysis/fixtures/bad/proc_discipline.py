@@ -1,0 +1,33 @@
+# yanclint: scope=driver
+"""Bad fixture: device-facing code scheduling on the simulator directly."""
+
+
+class LeakyDriver:
+    def __init__(self, sc, sim):
+        self.sc = sc
+        self.sim = sim
+        self._wake_pending = False
+
+    def attach(self, device):
+        # Periodic work outside the process runtime: survives crashes,
+        # never stops with the driver, bills nobody.
+        self.sim.every(1.0, self._sync_counters)  # bad: proc-discipline
+
+    def _schedule_wake(self):
+        if self._wake_pending:
+            return
+        self._wake_pending = True
+        self.sim.schedule(1e-5, self._drain)  # bad: proc-discipline
+
+    def _resync_at(self, when):
+        self.sim.schedule_at(when, self._sync_counters)  # bad: proc-discipline
+
+    def _sync_counters(self):
+        pass
+
+    def _drain(self):
+        pass
+
+
+def boot(ctl, fn):
+    ctl.sim.schedule(0.5, fn)  # bad: proc-discipline

@@ -1,0 +1,25 @@
+# yanclint: scope=driver
+"""Ok fixture: the same work routed through the Process helpers."""
+
+from repro.proc.process import Process
+
+
+class DisciplinedDriver(Process):
+    def __init__(self, sc, sim):
+        super().__init__(sc, sim, name="disciplined")
+        self.start()
+
+    def attach(self, device):
+        # Crash-contained, stops with the process, charged to its cgroup.
+        self.every(1.0, self._sync_counters)
+
+    def _resync_soon(self):
+        self.schedule(1e-5, self._sync_counters)
+
+    def _sync_counters(self):
+        pass
+
+
+def boot(sim, fn):
+    # Simulation harness code may drive the raw clock when it says so.
+    sim.schedule(0.5, fn)  # yanclint: disable=proc-discipline

@@ -57,6 +57,10 @@ def test_hygiene_rules():
     check_rule_pair("hygiene", "mutable-default", "shadow-builtin")
 
 
+def test_proc_discipline_rule():
+    check_rule_pair("proc_discipline", "proc-discipline")
+
+
 def test_vfs_bypass_needs_scope():
     # The same constructs outside app/example scope are not flagged: the
     # bad fixture only fires because of its `# yanclint: scope=app` line.
@@ -88,7 +92,7 @@ def test_cli_list_rules(capsys):
     rc = main(["--list-rules"])
     out = capsys.readouterr().out
     assert rc == 0
-    for rule in ("determinism", "vfs-bypass", "error-discipline", "schema-coverage", "mutable-default", "shadow-builtin"):
+    for rule in ("determinism", "vfs-bypass", "error-discipline", "schema-coverage", "mutable-default", "shadow-builtin", "proc-discipline"):
         assert rule in out
 
 

@@ -88,6 +88,8 @@ def test_router_restart_relearns(ring):
 
 def test_app_crash_does_not_take_down_others(ring):
     """The paper's anti-monolith argument: one app's bug is contained."""
+    from repro.proc import ProcState
+
     ctl, topod, _router = ring
 
     class CrashyApp(RouterDaemon):
@@ -96,21 +98,13 @@ def test_app_crash_does_not_take_down_others(ring):
         def handle_packet_in(self, event):
             raise RuntimeError("bug in tenant code")
 
-    crashy = CrashyApp(ctl.host.process(), ctl.sim)
-    # its exceptions must not unwind into the simulator: wrap its drain
-    original_drain = crashy._drain
-
-    def guarded():
-        try:
-            original_drain()
-        except RuntimeError:
-            crashy.stop()  # the process dies...
-
-    crashy._drain = guarded
-    crashy.start()
+    # No wrapping needed: the process runtime contains the crash natively.
+    crashy = CrashyApp(ctl.host.process(), ctl.sim).start()
     ctl.run(1.0)
     h1, h2 = ctl.net.hosts["h1"], ctl.net.hosts["h2"]
     seq = h1.ping(h2.ip)
     ctl.run(3.0)
+    assert crashy.state is ProcState.CRASHED  # the process dies...
+    assert isinstance(crashy.last_error, RuntimeError)
     assert h1.reachable(seq)  # ...and the rest of the system doesn't care
     assert topod.beacons_received > 0

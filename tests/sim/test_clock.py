@@ -130,3 +130,28 @@ def test_dispatched_counter():
     sim.schedule(2, lambda: None)
     sim.run()
     assert sim.dispatched == 2
+
+
+def test_pending_counts_live_events_without_heap_scans():
+    sim = Simulator()
+    events = [sim.schedule(float(i + 1), lambda: None) for i in range(5)]
+    assert sim.pending == 5
+    events[0].cancel()
+    assert sim.pending == 4  # cancel decrements immediately
+    sim.step()  # fires the 2.0 event (the cancelled one is skipped)
+    assert sim.pending == 3
+    sim.run()
+    assert sim.pending == 0
+
+
+def test_cancel_is_idempotent_for_pending():
+    sim = Simulator()
+    event = sim.schedule(1.0, lambda: None)
+    other = sim.schedule(2.0, lambda: None)
+    event.cancel()
+    event.cancel()  # double-cancel must not double-decrement
+    assert sim.pending == 1
+    sim.run()
+    assert sim.pending == 0
+    other.cancel()  # cancel-after-fire is a no-op
+    assert sim.pending == 0

@@ -1,0 +1,131 @@
+"""Epoll readiness: level-triggered wait, edge-triggered wakeup."""
+
+import pytest
+
+from repro.vfs import EPOLL_CTL_ADD, EPOLL_CTL_DEL, InvalidArgument
+from repro.vfs.notify import EventMask
+from repro.vfs.vfs import VirtualFileSystem
+from repro.vfs.syscalls import Syscalls
+
+
+@pytest.fixture
+def sc():
+    vfs = VirtualFileSystem()
+    return Syscalls(vfs)
+
+
+def test_wait_empty(sc):
+    ep = sc.epoll_create()
+    assert ep.wait() == []
+    assert len(ep) == 0
+
+
+def test_inotify_becomes_readable(sc):
+    ep = sc.epoll_create()
+    ino = sc.inotify_init()
+    sc.mkdir("/d")
+    sc.inotify_add_watch(ino, "/d", EventMask.IN_CREATE)
+    sc.epoll_ctl(ep, EPOLL_CTL_ADD, ino)
+    assert ep.wait() == []
+    sc.write_bytes("/d/f", b"x")
+    assert ep.wait() == [ino]
+
+
+def test_level_triggered_until_drained(sc):
+    ep = sc.epoll_create()
+    ino = sc.inotify_init()
+    sc.mkdir("/d")
+    sc.inotify_add_watch(ino, "/d", EventMask.IN_CREATE)
+    sc.epoll_ctl(ep, EPOLL_CTL_ADD, ino)
+    sc.write_bytes("/d/f", b"x")
+    # Level-triggered: undrained events keep the fd ready across waits.
+    assert sc.epoll_wait(ep) == [ino]
+    assert sc.epoll_wait(ep) == [ino]
+    sc.inotify_read(ino)
+    assert sc.epoll_wait(ep) == []
+
+
+def test_wakeup_fires_once_per_idle_to_ready_edge(sc):
+    ep = sc.epoll_create()
+    wakeups = []
+    ep.wakeup = lambda: wakeups.append(1)
+    ino = sc.inotify_init()
+    sc.mkdir("/d")
+    sc.inotify_add_watch(ino, "/d", EventMask.IN_CREATE)
+    sc.epoll_ctl(ep, EPOLL_CTL_ADD, ino)
+    sc.write_bytes("/d/a", b"x")
+    sc.write_bytes("/d/b", b"x")  # still ready: no second edge
+    assert len(wakeups) == 1
+    ep.wait()
+    sc.inotify_read(ino)
+    sc.write_bytes("/d/c", b"x")
+    assert len(wakeups) == 2
+
+
+def test_one_epoll_many_descriptors(sc):
+    ep = sc.epoll_create()
+    instances = []
+    for i in range(3):
+        ino = sc.inotify_init()
+        sc.mkdir(f"/d{i}")
+        sc.inotify_add_watch(ino, f"/d{i}", EventMask.IN_CREATE)
+        sc.epoll_ctl(ep, EPOLL_CTL_ADD, ino, f"fd{i}")
+        instances.append(ino)
+    sc.write_bytes("/d0/f", b"x")
+    sc.write_bytes("/d2/f", b"x")
+    # Ready descriptors report their registration data.
+    assert set(sc.epoll_wait(ep)) == {"fd0", "fd2"}
+
+
+def test_add_already_readable_is_ready_immediately(sc):
+    ino = sc.inotify_init()
+    sc.mkdir("/d")
+    sc.inotify_add_watch(ino, "/d", EventMask.IN_CREATE)
+    sc.write_bytes("/d/f", b"x")
+    ep = sc.epoll_create()
+    sc.epoll_ctl(ep, EPOLL_CTL_ADD, ino)
+    assert sc.epoll_wait(ep) == [ino]
+
+
+def test_duplicate_add_and_unknown_remove_rejected(sc):
+    ep = sc.epoll_create()
+    ino = sc.inotify_init()
+    sc.epoll_ctl(ep, EPOLL_CTL_ADD, ino)
+    with pytest.raises(InvalidArgument):
+        sc.epoll_ctl(ep, EPOLL_CTL_ADD, ino)
+    with pytest.raises(InvalidArgument):
+        sc.epoll_ctl(ep, EPOLL_CTL_DEL, sc.inotify_init())
+    with pytest.raises(InvalidArgument):
+        sc.epoll_ctl(ep, 99, ino)
+
+
+def test_del_stops_notifications(sc):
+    ep = sc.epoll_create()
+    ino = sc.inotify_init()
+    sc.mkdir("/d")
+    sc.inotify_add_watch(ino, "/d", EventMask.IN_CREATE)
+    sc.epoll_ctl(ep, EPOLL_CTL_ADD, ino)
+    sc.epoll_ctl(ep, EPOLL_CTL_DEL, ino)
+    sc.write_bytes("/d/f", b"x")
+    assert ep.wait() == []
+    assert ino._pollers == []
+
+
+def test_close_unregisters_everywhere(sc):
+    ep = sc.epoll_create()
+    ino = sc.inotify_init()
+    sc.epoll_ctl(ep, EPOLL_CTL_ADD, ino)
+    ep.close()
+    assert ep.closed
+    assert ino._pollers == []
+    with pytest.raises(InvalidArgument):
+        ep.add(ino)
+
+
+def test_epoll_calls_are_metered(sc):
+    before = sc.meter.syscalls
+    ep = sc.epoll_create()
+    ino = sc.inotify_init()
+    sc.epoll_ctl(ep, EPOLL_CTL_ADD, ino)
+    sc.epoll_wait(ep)
+    assert sc.meter.syscalls == before + 4  # create + init + ctl + wait
