@@ -18,6 +18,15 @@ makes the discipline machine-checked:
   sanitizer (``YANCSAN=1``) wrapping the VFS to catch fd leaks, writes that
   dodge close-time validation, notify events inconsistent with the
   mutations that produced them, and flow-commit protocol violations.
+
+* **yancrace** (:mod:`repro.analysis.race`) is an opt-in happens-before
+  race detector (``YANCRACE=1``, or ``python -m repro.analysis race
+  workload.py``): every process is a vector-clocked actor, ordering edges
+  come from the substrate's real sync points (notify delivery, §3.4
+  version commits, rename publication, scheduling, RPC, simulator
+  quiescence), and unsynchronized conflicting accesses — plus torn or
+  concurrently-read flow commits — are reported with PIDs and syscall
+  sites.
 """
 
 from __future__ import annotations

@@ -1,12 +1,29 @@
-"""The yanclint command line: ``python -m repro.analysis [paths...]``."""
+"""The analysis command line: ``python -m repro.analysis [race] [...]``.
+
+Two subcommands share one entry point:
+
+* ``python -m repro.analysis [paths...]`` — **yanclint**, the static
+  checker (the historical default, no subcommand word needed);
+* ``python -m repro.analysis race workload.py [args...]`` — **yancrace**,
+  which runs any Python workload (an example script, a reproducer) under
+  the happens-before race detector and reports ordering findings.
+
+Exit-code discipline (both subcommands):
+
+* ``0`` — clean;
+* ``1`` — findings (races / lint diagnostics at warning or above);
+* ``2`` — usage error (unknown rule, bad arguments);
+* ``3`` — internal error (the analyzer itself, or the workload, crashed).
+"""
 
 from __future__ import annotations
 
 import argparse
 import json
+import runpy
 import sys
 
-from repro.analysis.core import Severity, all_rules
+from repro.analysis.core import all_rules
 from repro.analysis.runner import analyze_paths, exit_code, format_findings
 
 
@@ -21,11 +38,71 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--ignore", help="comma-separated rule ids to skip")
     parser.add_argument("--list-rules", action="store_true", help="print the rule registry and exit")
     parser.add_argument("--format", choices=("text", "json"), default="text", help="diagnostic output format")
+    parser.add_argument("--json", action="store_true", help="shorthand for --format json")
     return parser
 
 
-def main(argv: list[str] | None = None) -> int:
-    """Entry point; returns the process exit code."""
+def build_race_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="yancrace",
+        description="Run a Python workload under the happens-before race "
+        "detector and report unsynchronized accesses, torn commits, and "
+        "reads of uncommitted flow state.",
+    )
+    parser.add_argument("workload", help="Python script to execute (e.g. examples/quickstart.py)")
+    parser.add_argument("workload_args", nargs="*", help="arguments passed to the workload")
+    parser.add_argument("--json", action="store_true", help="emit findings as JSON")
+    parser.add_argument("--baseline", help="JSON findings file; only findings not in it fail the run")
+    parser.add_argument("--out", help="write the findings JSON to this file as well")
+    return parser
+
+
+def _finding_key(record: dict) -> tuple:
+    return (record.get("kind", ""), record.get("path", ""), tuple(record.get("sites", ())))
+
+
+def race_main(argv: list[str]) -> int:
+    """yancrace subcommand; returns the process exit code."""
+    args = build_race_parser().parse_args(argv)
+    from repro.analysis.race import RaceDetector
+
+    detector = RaceDetector().install()
+    saved_argv = sys.argv
+    sys.argv = [args.workload, *args.workload_args]
+    try:
+        runpy.run_path(args.workload, run_name="__main__")
+    except SystemExit as exc:
+        if exc.code not in (None, 0):
+            print(f"yancrace: workload exited with {exc.code}", file=sys.stderr)
+            return 3
+    finally:
+        sys.argv = saved_argv
+        detector.uninstall()
+    findings = [f.to_json() for f in detector.check()]
+    detector.reset()
+    baseline_keys: set[tuple] = set()
+    if args.baseline:
+        with open(args.baseline, encoding="utf-8") as fh:
+            baseline_keys = {_finding_key(rec) for rec in json.load(fh)}
+    fresh = [rec for rec in findings if _finding_key(rec) not in baseline_keys]
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(findings, fh, indent=2)
+            fh.write("\n")
+    if args.json:
+        print(json.dumps(findings, indent=2))
+    else:
+        for rec in findings:
+            marker = " (baseline)" if _finding_key(rec) in baseline_keys else ""
+            print(f"yancrace [{rec['kind']}]{marker} {rec['detail']}")
+        suppressed = len(findings) - len(fresh)
+        tail = f" ({suppressed} in baseline)" if suppressed else ""
+        print(f"yancrace: {len(fresh)} finding(s){tail}")
+    return 1 if fresh else 0
+
+
+def lint_main(argv: list[str] | None) -> int:
+    """yanclint subcommand; returns the process exit code."""
     args = build_parser().parse_args(argv)
     if args.list_rules:
         for rule_id, rule in sorted(all_rules().items()):
@@ -40,11 +117,25 @@ def main(argv: list[str] | None = None) -> int:
         print(f"yanclint: known rules: {', '.join(sorted(known))}", file=sys.stderr)
         return 2
     findings = analyze_paths(list(args.paths), select=select, ignore=ignore)
-    if args.format == "json":
+    if args.json or args.format == "json":
         print(json.dumps([f.__dict__ | {"severity": f.severity.label} for f in findings], indent=2))
     else:
         print(format_findings(findings))
     return exit_code(findings)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    try:
+        if argv and argv[0] == "race":
+            return race_main(argv[1:])
+        return lint_main(argv)
+    except SystemExit:
+        raise  # argparse usage errors keep their exit code (2)
+    except Exception as exc:  # noqa: BLE001 — CLI boundary: crash means code 3, not a traceback-as-UX
+        print(f"repro.analysis: internal error: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 3
 
 
 if __name__ == "__main__":

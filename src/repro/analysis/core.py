@@ -184,6 +184,15 @@ def register(rule: Rule) -> Rule:
 def all_rules() -> dict[str, Rule]:
     """The registry, importing the built-in rule modules on first use."""
     # Imported lazily so `core` stays dependency-free for the sanitizer.
-    from repro.analysis import determinism, errordiscipline, hygiene, procdiscipline, schemacoverage, vfsbypass  # noqa: F401
+    from repro.analysis import (  # noqa: F401
+        determinism,
+        errordiscipline,
+        hygiene,
+        notifyread,
+        procdiscipline,
+        schemacoverage,
+        sharedwrite,
+        vfsbypass,
+    )
 
     return dict(_REGISTRY)

@@ -1,0 +1,76 @@
+"""Happens-before primitives for yancrace: vector clocks and actors.
+
+The race detector (:mod:`repro.analysis.race`) models every syscall
+context — each :class:`~repro.proc.process.Process` owns one, and plain
+test-harness :class:`~repro.vfs.syscalls.Syscalls` instances count too —
+as an *actor* carrying a vector clock.  The clock maps actor id to the
+last tick of that actor known to have happened before the carrier's
+current instruction.  An access recorded as ``(actor A, tick T)``
+happens-before actor B's current instruction iff ``B.clock[A] >= T`` —
+the FastTrack-style O(1) check that makes per-syscall race detection
+affordable.
+
+Edges are created by the substrate's real synchronization points (notify
+delivery, epoll wakeups, version-file commits, scheduling, RPC); the
+clock algebra here is deliberately generic and knows nothing about them.
+"""
+
+from __future__ import annotations
+
+
+class VectorClock(dict):
+    """A vector clock: actor id -> highest tick known to happen-before.
+
+    Implemented as a plain dict subclass (no wrapper indirection) because
+    merge/covers sit on the per-syscall hot path of the detector.
+    """
+
+    __slots__ = ()
+
+    def tick(self, aid: int) -> int:
+        """Advance ``aid``'s own component; returns the new tick."""
+        value = self.get(aid, 0) + 1
+        self[aid] = value
+        return value
+
+    def merge(self, other: "VectorClock | dict") -> None:
+        """Pointwise maximum: acquire everything ``other`` has seen."""
+        for aid, tick in other.items():
+            if self.get(aid, 0) < tick:
+                self[aid] = tick
+
+    def covers(self, aid: int, tick: int) -> bool:
+        """True when ``(aid, tick)`` happens-before the carrier's now."""
+        return self.get(aid, 0) >= tick
+
+    def snapshot(self) -> "VectorClock":
+        """An immutable-by-convention copy (release points store these)."""
+        return VectorClock(self)
+
+
+class Actor:
+    """One concurrency participant: a syscall context plus its clock.
+
+    ``sc`` is pinned so ``id(sc)`` (the actor key) cannot be recycled by
+    the allocator while the detector still holds history naming it.
+    """
+
+    __slots__ = ("aid", "sc", "clock", "barrier_epoch")
+
+    def __init__(self, aid: int, sc: object | None = None) -> None:
+        self.aid = aid
+        self.sc = sc
+        self.clock = VectorClock()
+        #: Last global-barrier generation merged into this clock (the
+        #: detector joins all actors at simulator quiescence points).
+        self.barrier_epoch = 0
+
+    def describe(self) -> str:
+        """``pid N (name)`` when the context is owned by a process."""
+        if self.sc is None:
+            return "harness"
+        pid = getattr(self.sc, "owner_pid", 0)
+        name = getattr(self.sc, "owner_name", "")
+        if pid:
+            return f"pid {pid} ({name or 'proc'})"
+        return name or f"sc@{self.aid:#x}"

@@ -1,0 +1,941 @@
+"""yancrace: an opt-in happens-before race detector for the process fleet.
+
+yanc's processes cooperate through shared files, with the ``version``-file
+increment as the only atomic commit point for flows (§3.4) — so the
+signature failure modes are lost updates, torn multi-file writes, and
+reads of uncommitted flow state.  Where yancsan checks per-operation
+invariants, yancrace checks the *ordering* between operations: every
+syscall context (each :class:`~repro.proc.process.Process` owns one; a
+plain test-harness :class:`~repro.vfs.syscalls.Syscalls` counts too) is
+an actor with a vector clock, every regular-file data access is recorded
+in a bounded per-inode shadow history, and two conflicting accesses with
+no happens-before edge between them are a race.
+
+Happens-before edges come only from the substrate's real synchronization
+points, mirroring §3.4/§5.2 semantics:
+
+* **notify delivery** — every event delivered to an inotify instance
+  carries the emitter's clock; draining the instance (``inotify_read``)
+  or seeing it ready (``epoll_wait``) acquires the accumulated clock, so
+  a watcher inherits everything its writers did before emitting.
+* **version-file commits** — writing a flow's ``version`` releases the
+  committer's clock against that file; reading it acquires the last
+  released clock.  Observing the new version therefore orders the reader
+  after every spec write the commit covered.
+* **scheduling** — ``Process.every``/``schedule`` (and therefore cron
+  jobs) capture the scheduler's clock at creation; the scheduled run
+  acquires it.  Supervised restarts reuse the crashed process's context,
+  so program order already covers them.
+* **distfs RPC** — a call releases the sender's clock to whoever handles
+  it, and the reply releases the handlers' clocks back to the sender.
+* **simulator quiescence** — entering and leaving ``Simulator.run`` /
+  ``run_until`` joins all clocks (a global barrier): the sequential test
+  harness around a run window is ordered against everything inside it,
+  while accesses *within* one window stay concurrent unless a real edge
+  orders them.
+
+A second pass model-checks the commit protocol itself: a ``match.*`` /
+``action.*`` / attribute write to an already-committed flow must be
+followed by a ``version`` increment by the same committer
+(**torn-commit** otherwise), and no other actor may read the spec while
+that increment is outstanding (**uncommitted-read**).
+
+Accesses to ``counters/`` files are exempt: counters are lossy-by-design
+monitoring state the driver overwrites and anyone samples (§3.5), not
+shared state the protocol orders.  Direct-store mutations that bypass
+``Syscalls`` (``libyanc.fastpath``) are invisible here, exactly as they
+are invisible to the kernel's fsnotify.
+
+Usage::
+
+    YANCRACE=1 python -m pytest               # conftest wires teardown checks
+    python -m repro.analysis race workload.py # run any script under the detector
+
+Findings can be suppressed at either involved source line with
+``# yancrace: disable=<kind>`` (kinds: ``race``, ``torn-commit``,
+``uncommitted-read``, or ``all``).
+"""
+
+from __future__ import annotations
+
+import linecache
+import os
+import re
+import sys
+from collections import deque
+from dataclasses import dataclass
+
+from repro.analysis.hb import Actor, VectorClock
+from repro.analysis.sanitizer import _FLOW_SPEC_NAMES
+from repro.vfs.errors import FsError
+from repro.vfs.inode import FileInode
+from repro.vfs.syscalls import O_RDONLY, O_TRUNC, Syscalls
+from repro.yancfs.schema import CountersDir, FlowNode
+
+_DISABLE_RE = re.compile(r"#\s*yancrace:\s*disable=([\w,\-]+)")
+
+#: Frames whose filename matches one of these are substrate plumbing; the
+#: reported syscall site is the first frame outside them (app/test code).
+_INFRA_MARKERS = ("/repro/vfs/", "/repro/analysis/", "/repro/yancfs/", "/repro/libyanc/")
+
+#: Bounded per-inode access history (like TSan's shadow cells): old
+#: accesses age out, trading missed ancient races for bounded memory.
+DEFAULT_HISTORY = 16
+
+#: Actor key shared by every context not owned by a process (id() of a
+#: real object is never 0, so this cannot collide).
+_HARNESS_AID = 0
+
+
+@dataclass(frozen=True)
+class RaceFinding:
+    """One ordering violation, with both parties' identities and sites."""
+
+    kind: str  # "race" | "torn-commit" | "uncommitted-read"
+    path: str
+    detail: str
+    actors: tuple[str, ...] = ()
+    sites: tuple[str, ...] = ()
+
+    def __str__(self) -> str:
+        return f"yancrace [{self.kind}] {self.detail}"
+
+    def to_json(self) -> dict:
+        """A JSON-stable dict (what ``--json`` and baselines diff on)."""
+        return {
+            "kind": self.kind,
+            "path": self.path,
+            "detail": self.detail,
+            "actors": list(self.actors),
+            "sites": list(self.sites),
+        }
+
+
+class _Access:
+    """One recorded shadow access: who, when (their tick), how, where."""
+
+    __slots__ = ("actor", "tick", "write", "site")
+
+    def __init__(self, actor: Actor, tick: int, write: bool, site: str) -> None:
+        self.actor = actor
+        self.tick = tick
+        self.write = write
+        self.site = site
+
+
+@dataclass
+class _PendingSpec:
+    """A spec write to a committed flow awaiting its version increment."""
+
+    flow: FlowNode
+    name: str
+    path: str
+    site: str
+    actor: Actor
+    tick: int
+    version: int
+
+
+def _call_site() -> str:
+    """``file:line`` of the nearest non-substrate frame (the app's site)."""
+    frame = sys._getframe(1)
+    for _ in range(40):
+        if frame is None:
+            break
+        filename = frame.f_code.co_filename.replace("\\", "/")
+        if not any(marker in filename for marker in _INFRA_MARKERS):
+            return f"{frame.f_code.co_filename}:{frame.f_lineno}"
+        frame = frame.f_back
+    return "<unknown>"
+
+
+def _site_suppressed(kind: str, *sites: str) -> bool:
+    """True when any involved source line carries a disable comment."""
+    for site in sites:
+        path, _, lineno = site.rpartition(":")
+        if not path:
+            continue
+        try:
+            number = int(lineno)
+        except ValueError:
+            continue
+        match = _DISABLE_RE.search(linecache.getline(path, number))
+        if match:
+            kinds = set(match.group(1).split(","))
+            if "all" in kinds or kind in kinds:
+                return True
+    return False
+
+
+def _current_version(flow: FlowNode) -> int:
+    node = flow._children.get("version")
+    if not isinstance(node, FileInode):
+        return 0
+    try:
+        return int(node.read_all().decode(errors="replace").strip() or "0", 0)
+    except ValueError:
+        return 0
+
+
+class RaceDetector:
+    """Collects ordering findings between :meth:`reset` and :meth:`check`."""
+
+    def __init__(self, *, history: int = DEFAULT_HISTORY) -> None:
+        self.findings: list[RaceFinding] = []
+        self.history = max(2, history)
+        # id(syscalls) -> Actor (the sc object is pinned inside).
+        self._actors: dict[int, Actor] = {}
+        # id(inode) -> (inode, bounded access deque); inode pinned so its
+        # id cannot be recycled while history still names it.
+        self._shadow: dict[int, tuple[FileInode, deque]] = {}
+        # id(inotify instance) -> (instance, accumulated emitter clock).
+        self._inbox: dict[int, tuple[object, VectorClock]] = {}
+        # id(version inode) -> (inode, clock released by the last commit).
+        self._commit_clocks: dict[int, tuple[FileInode, VectorClock]] = {}
+        # (id(flow), actor id) -> spec write awaiting its version bump.
+        self._pending: dict[tuple[int, int], _PendingSpec] = {}
+        # id(inode) -> (inode, publisher clock at rename time): rename is
+        # the atomic-publish op (maildir), so reaching a renamed object
+        # acquires its publication.
+        self._published: dict[int, tuple[object, VectorClock]] = {}
+        # Dedup keys so one racy loop reports once, not per iteration.
+        self._seen: set[tuple] = set()
+        self._barrier = VectorClock()
+        self._barrier_epoch = 0
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    def install(self) -> "RaceDetector":
+        """Start observing; idempotent per detector."""
+        _patch_once()
+        if self not in _DETECTORS:
+            _DETECTORS.append(self)
+        return self
+
+    def uninstall(self) -> None:
+        """Stop observing (the monkeypatches stay, but become no-ops)."""
+        if self in _DETECTORS:
+            _DETECTORS.remove(self)
+
+    def reset(self) -> None:
+        """Drop all recorded state, e.g. between tests."""
+        self.findings.clear()
+        self._actors.clear()
+        self._shadow.clear()
+        self._inbox.clear()
+        self._commit_clocks.clear()
+        self._pending.clear()
+        self._published.clear()
+        self._seen.clear()
+        self._barrier = VectorClock()
+        self._barrier_epoch = 0
+        # The fd map is execution-context shared by all detectors; between
+        # runs every tracked fd table is dead anyway.
+        _FD_FILES.clear()
+
+    def check(self) -> list[RaceFinding]:
+        """All findings, including teardown-only ones (torn commits)."""
+        findings = list(self.findings)
+        for pend in self._pending.values():
+            if _site_suppressed("torn-commit", pend.site):
+                continue
+            findings.append(
+                RaceFinding(
+                    "torn-commit",
+                    pend.path,
+                    f"torn commit: {pend.actor.describe()} wrote flow spec {pend.name!r} "
+                    f"({pend.path!r}) at {pend.site} while the flow was at version "
+                    f"{pend.version}, but never incremented 'version' — the switch will "
+                    "never see the change (§3.4)",
+                    actors=(pend.actor.describe(),),
+                    sites=(pend.site,),
+                )
+            )
+        return findings
+
+    # -- clock plumbing ------------------------------------------------------------
+
+    def _actor_for(self, sc: Syscalls) -> Actor:
+        # Every process-owned context is its own actor.  Bare contexts
+        # (owner_pid == 0: the test harness, shells, ad-hoc Syscalls) all
+        # collapse into ONE sequential "harness" actor — a test body using
+        # three credential hats is still a single thread of control, not
+        # three concurrent processes.
+        if not getattr(sc, "owner_pid", 0):
+            return self._harness_actor()
+        aid = id(sc)
+        actor = self._actors.get(aid)
+        if actor is None:
+            actor = Actor(aid, sc)
+            actor.clock.merge(self._barrier)
+            # Birth edge: everything the orchestrator did before this
+            # process's first syscall is program-order-before it (the
+            # harness only runs while the simulator is parked).
+            harness = self._actors.get(_HARNESS_AID)
+            if harness is not None:
+                actor.clock.merge(harness.clock)
+            actor.barrier_epoch = self._barrier_epoch
+            self._actors[aid] = actor
+        elif actor.barrier_epoch != self._barrier_epoch:
+            actor.clock.merge(self._barrier)
+            actor.barrier_epoch = self._barrier_epoch
+        return actor
+
+    def _harness_actor(self) -> Actor:
+        actor = self._actors.get(_HARNESS_AID)
+        if actor is None:
+            actor = Actor(_HARNESS_AID, None)
+            actor.clock.merge(self._barrier)
+            actor.barrier_epoch = self._barrier_epoch
+            self._actors[_HARNESS_AID] = actor
+        elif actor.barrier_epoch != self._barrier_epoch:
+            actor.clock.merge(self._barrier)
+            actor.barrier_epoch = self._barrier_epoch
+        return actor
+
+    def publish_barrier(self) -> None:
+        """Join every actor's clock (a simulator-quiescence sync point).
+
+        Actors acquire the join lazily on their next access, so an idle
+        actor costs nothing.
+        """
+        for actor in self._actors.values():
+            self._barrier.merge(actor.clock)
+        self._barrier_epoch += 1
+
+    def _caller_actor(self, previous: "Syscalls | None") -> Actor | None:
+        """Who synchronously invoked the current syscall, if knowable.
+
+        Inside a simulator window with no process scope (raw scheduled
+        events, dataplane plumbing) the invoker is unknown — return None
+        rather than inventing an edge.
+        """
+        if previous is not None:
+            return self._actor_for(previous)
+        if _RUN_DEPTH == 0:
+            return self._harness_actor()
+        return None
+
+    def _on_syscall_enter(self, sc: Syscalls, previous: "Syscalls | None") -> Actor:
+        """Per-syscall prologue: resolve the actor, apply scope edges."""
+        actor = self._actor_for(sc)
+        # Synchronous-call edge, caller -> callee: when one context drives
+        # another's syscalls in its own control flow (the harness using a
+        # process's client, a shell running as root), the call is in the
+        # caller's program order.
+        caller = self._caller_actor(previous)
+        if caller is not None and caller is not actor:
+            actor.clock.merge(caller.clock)
+        if _ORIGIN_STACK:
+            origin = _ORIGIN_STACK[-1].get(id(self))
+            if origin is not None:
+                clock, merged = origin
+                if actor.aid not in merged:
+                    actor.clock.merge(clock)
+                    merged.add(actor.aid)
+        if _RPC_STACK:
+            state = _RPC_STACK[-1].get(id(self))
+            if state is not None:
+                sender, snap, responders, merged = state
+                if actor is not sender and actor.aid not in merged:
+                    if snap is not None:
+                        actor.clock.merge(snap)
+                    merged.add(actor.aid)
+                    responders.append(actor)
+        return actor
+
+    def _on_syscall_leave(self, sc: Syscalls, previous: "Syscalls | None") -> None:
+        """Per-syscall epilogue: callee -> caller, the return edge of a
+        synchronous call (the caller resumes having observed its effects)."""
+        actor = self._actor_for(sc)
+        caller = self._caller_actor(previous)
+        if caller is not None and caller is not actor:
+            caller.clock.merge(actor.clock)
+
+    def _snapshot_scope(self):
+        """Clock captured at task-creation time (the scheduling edge)."""
+        if _CURRENT_SC is None:
+            return None
+        return (self._actor_for(_CURRENT_SC).clock.snapshot(), set())
+
+    def _rpc_send_state(self):
+        if _CURRENT_SC is None:
+            return (None, None, [], set())
+        sender = self._actor_for(_CURRENT_SC)
+        return (sender, sender.clock.snapshot(), [], set())
+
+    def _rpc_recv_state(self, state) -> None:
+        sender, _snap, responders, _merged = state
+        if sender is None:
+            return
+        for responder in responders:
+            sender.clock.merge(responder.clock)
+
+    def _cancel_pending(self, sc: Syscalls, inode: FileInode) -> None:
+        """A spec write was rolled back (validation failure on close)."""
+        actor = self._actor_for(sc)
+        for parent, _name in inode.dentries:
+            if isinstance(parent, FlowNode):
+                self._pending.pop((id(parent), actor.aid), None)
+
+    def _note_publish(self, sc: Syscalls, node: object) -> None:
+        """rename target: record the publisher's clock on the object."""
+        entry = self._published.get(id(node))
+        if entry is None:
+            entry = (node, VectorClock())
+            self._published[id(node)] = entry
+        entry[1].merge(self._actor_for(sc).clock)
+
+    def _on_spawn(self, parent_sc: Syscalls, child_sc: Syscalls) -> None:
+        """fork(2) edge: the child starts with the parent's clock."""
+        self._actor_for(child_sc).clock.merge(self._actor_for(parent_sc).clock)
+
+    def _note_delivery(self, instance: object) -> None:
+        """An event was delivered (or coalesced) into an inotify queue."""
+        if _CURRENT_SC is None:
+            return
+        actor = self._actor_for(_CURRENT_SC)
+        entry = self._inbox.get(id(instance))
+        if entry is None:
+            entry = (instance, VectorClock())
+            self._inbox[id(instance)] = entry
+        entry[1].merge(actor.clock)
+
+    def _acquire_instance(self, sc: Syscalls, instance: object) -> None:
+        """inotify_read: the reader acquires its emitters' clocks."""
+        entry = self._inbox.get(id(instance))
+        if entry is not None:
+            self._actor_for(sc).clock.merge(entry[1])
+
+    def _acquire_ready(self, sc: Syscalls, ep: object) -> None:
+        """epoll_wait: acquire the clock of every ready descriptor."""
+        actor = self._actor_for(sc)
+        for pollable in ep.pollables():
+            if not pollable.readable():
+                continue
+            entry = self._inbox.get(id(pollable))
+            if entry is not None:
+                actor.clock.merge(entry[1])
+
+    # -- the shadow-state core -------------------------------------------------------
+
+    def _record_access(self, sc: Syscalls, inode: FileInode, path: str, *, write: bool) -> None:
+        flow = None
+        fname = ""
+        actor = self._actor_for(sc)
+        publication = self._published.get(id(inode))
+        if publication is not None:
+            actor.clock.merge(publication[1])
+        for parent, name in inode.dentries:
+            if isinstance(parent, CountersDir):
+                return  # lossy-by-design monitoring state (§3.5)
+            if isinstance(parent, FlowNode):
+                flow, fname = parent, name
+            # Reaching a file inside an atomically-published (renamed)
+            # directory acquires the publication — the maildir contract.
+            publication = self._published.get(id(parent))
+            if publication is not None:
+                actor.clock.merge(publication[1])
+        if flow is not None and fname == "version" and not write:
+            # The version file is the synchronization variable (§3.4):
+            # reading it acquires the last committer's released clock
+            # *before* the race check, so observing a commit orders the
+            # reader after it.  Concurrent committers who never saw each
+            # other's increment still conflict below (a real lost update).
+            released = self._commit_clocks.get(id(inode))
+            if released is not None:
+                actor.clock.merge(released[1])
+        key = id(inode)
+        entry = self._shadow.get(key)
+        if entry is None:
+            entry = (inode, deque(maxlen=self.history))
+            self._shadow[key] = entry
+        hist = entry[1]
+        site = None
+        for access in hist:
+            if access.actor is actor:
+                continue
+            if not (write or access.write):
+                continue  # read/read never conflicts
+            if actor.clock.covers(access.actor.aid, access.tick):
+                continue
+            if site is None:
+                site = _call_site()
+            self._report_race(actor, access, path, site, write)
+        if site is None:
+            site = _call_site()
+        tick = actor.clock.tick(actor.aid)
+        last = hist[-1] if hist else None
+        if last is not None and last.actor is actor and last.write == write:
+            # Same actor repeating the same kind of access: advance the
+            # record instead of growing history (the newer tick subsumes
+            # the older one for every future HB check).
+            last.tick = tick
+            last.site = site
+        else:
+            hist.append(_Access(actor, tick, write, site))
+        if flow is not None:
+            self._flow_protocol(actor, flow, fname, inode, path, write, site, tick)
+
+    def _report_race(self, actor: Actor, access: _Access, path: str, site: str, write: bool) -> None:
+        dedup = ("race", path, access.site, site)
+        if dedup in self._seen:
+            return
+        self._seen.add(dedup)
+        if _site_suppressed("race", site, access.site):
+            return
+        kind_then = "write" if access.write else "read"
+        kind_now = "write" if write else "read"
+        other = access.actor
+        self.findings.append(
+            RaceFinding(
+                "race",
+                path,
+                f"unsynchronized {kind_then}/{kind_now} on {path!r}: "
+                f"{other.describe()} at {access.site} and {actor.describe()} at {site} "
+                "have no happens-before edge (no notify delivery, version "
+                "acquire, scheduling, or RPC orders them)",
+                actors=(other.describe(), actor.describe()),
+                sites=(access.site, site),
+            )
+        )
+
+    # -- §3.4 commit-protocol model checking -------------------------------------------
+
+    def _flow_protocol(self, actor: Actor, flow: FlowNode, fname: str, inode: FileInode, path: str, write: bool, site: str, tick: int) -> None:
+        if fname == "version":
+            if write:
+                # Commit: release the committer's clock (covers this
+                # write's tick) and retire every pending spec write the
+                # committer has observed — its own, or one HB-ordered
+                # before the increment (the commit covers those too).
+                self._commit_clocks[id(inode)] = (inode, actor.clock.snapshot())
+                for key, pend in list(self._pending.items()):
+                    if key[0] != id(flow):
+                        continue
+                    if pend.actor is actor or actor.clock.covers(pend.actor.aid, pend.tick):
+                        del self._pending[key]
+            # The read-side acquire happened in _record_access, before the
+            # race check — the version file is the sync variable itself.
+            return
+        if not (fname in _FLOW_SPEC_NAMES or fname.startswith(("match.", "action."))):
+            return
+        if write:
+            if _current_version(flow) > 0:
+                self._pending.setdefault(
+                    (id(flow), actor.aid),
+                    _PendingSpec(flow, fname, path, site, actor, tick, _current_version(flow)),
+                )
+            return
+        for (fid, aid), pend in self._pending.items():
+            if fid != id(flow) or aid == actor.aid:
+                continue
+            if actor.clock.covers(pend.actor.aid, pend.tick):
+                # The reader is HB-ordered after the spec write: it can
+                # observe the mid-commit state coherently (e.g. a driver
+                # that re-reads and version-guards).  Only *concurrent*
+                # reads of uncommitted state are protocol violations.
+                continue
+            dedup = ("uncommitted", pend.site, site)
+            if dedup in self._seen:
+                continue
+            self._seen.add(dedup)
+            if _site_suppressed("uncommitted-read", site, pend.site):
+                continue
+            self.findings.append(
+                RaceFinding(
+                    "uncommitted-read",
+                    path,
+                    f"read of uncommitted flow state: {actor.describe()} read {path!r} "
+                    f"at {site} while {pend.actor.describe()} holds an uncommitted spec "
+                    f"write to {pend.name!r} (at {pend.site}; version still "
+                    f"{pend.version}, §3.4)",
+                    actors=(actor.describe(), pend.actor.describe()),
+                    sites=(site, pend.site),
+                )
+            )
+
+
+# -- module-level execution context and patching ----------------------------------
+
+#: Active detectors; the patched choke points fan out to each of these.
+_DETECTORS: list[RaceDetector] = []
+#: The Syscalls instance currently inside a patched call (or the process
+#: scope established by a dispatch/guarded run); emissions attribute here.
+_CURRENT_SC: Syscalls | None = None
+#: (id(sc), fd) -> (inode, path): which file each tracked descriptor names.
+_FD_FILES: dict[tuple[int, int], tuple[FileInode, str]] = {}
+#: Scheduling-edge scopes: per-detector creation-time clock snapshots,
+#: pushed for the duration of a guarded Process task run.
+_ORIGIN_STACK: list[dict] = []
+#: In-flight RPC calls: per-detector (sender, snapshot, responders, merged).
+_RPC_STACK: list[dict] = []
+#: Simulator.run nesting depth: 0 means the harness itself is executing.
+_RUN_DEPTH = 0
+_patched = False
+
+
+def _enter(sc: Syscalls) -> "Syscalls | None":
+    global _CURRENT_SC
+    previous = _CURRENT_SC
+    _CURRENT_SC = sc
+    for det in _DETECTORS:
+        det._on_syscall_enter(sc, previous)
+    return previous
+
+
+def _leave(sc: Syscalls, previous: "Syscalls | None") -> None:
+    global _CURRENT_SC
+    _CURRENT_SC = previous
+    for det in _DETECTORS:
+        det._on_syscall_leave(sc, previous)
+
+
+def _patch_once() -> None:
+    global _patched
+    if _patched:
+        return
+    _patched = True
+
+    from repro.distfs import rpc as rpc_mod
+    from repro.proc.process import Process
+    from repro.sim.clock import Simulator
+    from repro.vfs import notify as notify_mod
+
+    orig_open = Syscalls.open
+    orig_close = Syscalls.close
+    orig_read = Syscalls.read
+    orig_write = Syscalls.write
+    orig_pread = Syscalls.pread
+    orig_pwrite = Syscalls.pwrite
+    orig_ftruncate = Syscalls.ftruncate
+    orig_truncate = Syscalls.truncate
+    orig_inotify_read = Syscalls.inotify_read
+    orig_epoll_wait = Syscalls.epoll_wait
+    orig_spawn = Syscalls.spawn
+    orig_guarded = Process._guarded
+    orig_dispatch = Process._dispatch
+    orig_run = Simulator.run
+    orig_run_until = Simulator.run_until
+
+    def patched_open(self: Syscalls, path: str, flags: int = O_RDONLY, mode: int = 0o644) -> int:
+        if not _DETECTORS:
+            return orig_open(self, path, flags, mode)
+        previous = _enter(self)
+        try:
+            fd = orig_open(self, path, flags, mode)
+            handle = self._fds.get(fd)
+            if handle is not None and isinstance(handle.inode, FileInode):
+                abspath = self._abspath(path)
+                _FD_FILES[(id(self), fd)] = (handle.inode, abspath)
+                if flags & O_TRUNC and handle.writable:
+                    for det in _DETECTORS:
+                        det._record_access(self, handle.inode, abspath, write=True)
+            return fd
+        finally:
+            _leave(self, previous)
+
+    def patched_close(self: Syscalls, fd: int) -> None:
+        if not _DETECTORS:
+            return orig_close(self, fd)
+        previous = _enter(self)
+        entry = _FD_FILES.get((id(self), fd))
+        try:
+            return orig_close(self, fd)
+        except FsError:
+            # close-time validation rejected the write and rolled the file
+            # back: the spec change never became durable, so it cannot owe
+            # a version increment.
+            if entry is not None:
+                for det in _DETECTORS:
+                    det._cancel_pending(self, entry[0])
+            raise
+        finally:
+            _FD_FILES.pop((id(self), fd), None)
+            _leave(self, previous)
+
+    def _fd_access(sc: Syscalls, fd: int, *, write: bool) -> None:
+        entry = _FD_FILES.get((id(sc), fd))
+        if entry is not None:
+            for det in _DETECTORS:
+                det._record_access(sc, entry[0], entry[1], write=write)
+
+    def patched_read(self: Syscalls, fd: int, size: int = -1) -> bytes:
+        if not _DETECTORS:
+            return orig_read(self, fd, size)
+        previous = _enter(self)
+        try:
+            data = orig_read(self, fd, size)
+            _fd_access(self, fd, write=False)
+            return data
+        finally:
+            _leave(self, previous)
+
+    def patched_write(self: Syscalls, fd: int, data: bytes) -> int:
+        if not _DETECTORS:
+            return orig_write(self, fd, data)
+        previous = _enter(self)
+        try:
+            result = orig_write(self, fd, data)
+            _fd_access(self, fd, write=True)
+            return result
+        finally:
+            _leave(self, previous)
+
+    def patched_pread(self: Syscalls, fd: int, size: int, offset: int) -> bytes:
+        if not _DETECTORS:
+            return orig_pread(self, fd, size, offset)
+        previous = _enter(self)
+        try:
+            data = orig_pread(self, fd, size, offset)
+            _fd_access(self, fd, write=False)
+            return data
+        finally:
+            _leave(self, previous)
+
+    def patched_pwrite(self: Syscalls, fd: int, data: bytes, offset: int) -> int:
+        if not _DETECTORS:
+            return orig_pwrite(self, fd, data, offset)
+        previous = _enter(self)
+        try:
+            result = orig_pwrite(self, fd, data, offset)
+            _fd_access(self, fd, write=True)
+            return result
+        finally:
+            _leave(self, previous)
+
+    def patched_ftruncate(self: Syscalls, fd: int, size: int) -> None:
+        if not _DETECTORS:
+            return orig_ftruncate(self, fd, size)
+        previous = _enter(self)
+        try:
+            orig_ftruncate(self, fd, size)
+            _fd_access(self, fd, write=True)
+        finally:
+            _leave(self, previous)
+
+    def patched_truncate(self: Syscalls, path: str, size: int) -> None:
+        if not _DETECTORS:
+            return orig_truncate(self, path, size)
+        previous = _enter(self)
+        try:
+            orig_truncate(self, path, size)
+            abspath = self._abspath(path)
+            inode = self.vfs.resolve(self.ns, self.cred, abspath)
+            if isinstance(inode, FileInode):
+                for det in _DETECTORS:
+                    det._record_access(self, inode, abspath, write=True)
+        finally:
+            _leave(self, previous)
+
+    def patched_inotify_read(self: Syscalls, instance):
+        if not _DETECTORS:
+            return orig_inotify_read(self, instance)
+        previous = _enter(self)
+        try:
+            events = orig_inotify_read(self, instance)
+            for det in _DETECTORS:
+                det._acquire_instance(self, instance)
+            return events
+        finally:
+            _leave(self, previous)
+
+    def patched_epoll_wait(self: Syscalls, ep):
+        if not _DETECTORS:
+            return orig_epoll_wait(self, ep)
+        previous = _enter(self)
+        try:
+            ready = orig_epoll_wait(self, ep)
+            for det in _DETECTORS:
+                det._acquire_ready(self, ep)
+            return ready
+        finally:
+            _leave(self, previous)
+
+    orig_rename = Syscalls.rename
+
+    def patched_rename(self: Syscalls, old: str, new: str):
+        if not _DETECTORS:
+            return orig_rename(self, old, new)
+        previous = _enter(self)
+        try:
+            result = orig_rename(self, old, new)
+            # rename is the atomic-publish operation (maildir): record the
+            # publisher's clock on the target so later accesses through
+            # the new name acquire everything done before publication.
+            try:
+                node = self.vfs.resolve(self.ns, self.cred, self._abspath(new))
+            except FsError:
+                node = None
+            if node is not None:
+                for det in _DETECTORS:
+                    det._note_publish(self, node)
+            return result
+        finally:
+            _leave(self, previous)
+
+    def patched_spawn(self: Syscalls, **kwargs):
+        child = orig_spawn(self, **kwargs)
+        for det in _DETECTORS:
+            det._on_spawn(self, child)
+        return child
+
+    def patched_guarded(self: Process, fn):
+        run = orig_guarded(self, fn)
+        # The scheduling edge: capture the creating scope's clock now so
+        # the eventual run (cron job, periodic task, one-shot) acquires it.
+        origins = {id(det): det._snapshot_scope() for det in _DETECTORS}
+
+        def guarded_run() -> None:
+            if not _DETECTORS:
+                return run()
+            global _CURRENT_SC
+            previous = _CURRENT_SC
+            if self.sc is not None:
+                _CURRENT_SC = self.sc
+            _ORIGIN_STACK.append(origins)
+            try:
+                return run()
+            finally:
+                _ORIGIN_STACK.pop()
+                _CURRENT_SC = previous
+
+        return guarded_run
+
+    def patched_dispatch(self: Process) -> None:
+        if not _DETECTORS:
+            return orig_dispatch(self)
+        global _CURRENT_SC
+        previous = _CURRENT_SC
+        if self.sc is not None:
+            _CURRENT_SC = self.sc
+        try:
+            return orig_dispatch(self)
+        finally:
+            _CURRENT_SC = previous
+
+    def patched_run(self: Simulator, max_events: int = 1_000_000) -> int:
+        if not _DETECTORS:
+            return orig_run(self, max_events)
+        global _RUN_DEPTH
+        for det in _DETECTORS:
+            det.publish_barrier()
+        _RUN_DEPTH += 1
+        try:
+            return orig_run(self, max_events)
+        finally:
+            _RUN_DEPTH -= 1
+            for det in _DETECTORS:
+                det.publish_barrier()
+
+    def patched_run_until(self: Simulator, deadline: float, max_events: int = 1_000_000) -> int:
+        if not _DETECTORS:
+            return orig_run_until(self, deadline, max_events)
+        global _RUN_DEPTH
+        for det in _DETECTORS:
+            det.publish_barrier()
+        _RUN_DEPTH += 1
+        try:
+            return orig_run_until(self, deadline, max_events)
+        finally:
+            _RUN_DEPTH -= 1
+            for det in _DETECTORS:
+                det.publish_barrier()
+
+    def notify_tap(instance, _event) -> None:
+        if not _DETECTORS or _CURRENT_SC is None:
+            return
+        for det in _DETECTORS:
+            det._note_delivery(instance)
+
+    def rpc_tap(phase: str, _channel) -> None:
+        if phase == "send":
+            _RPC_STACK.append({id(det): det._rpc_send_state() for det in _DETECTORS})
+        elif _RPC_STACK:
+            frame = _RPC_STACK.pop()
+            for det in _DETECTORS:
+                state = frame.get(id(det))
+                if state is not None:
+                    det._rpc_recv_state(state)
+
+    Syscalls.open = patched_open  # type: ignore[method-assign]
+    Syscalls.close = patched_close  # type: ignore[method-assign]
+    Syscalls.read = patched_read  # type: ignore[method-assign]
+    Syscalls.write = patched_write  # type: ignore[method-assign]
+    Syscalls.pread = patched_pread  # type: ignore[method-assign]
+    Syscalls.pwrite = patched_pwrite  # type: ignore[method-assign]
+    Syscalls.ftruncate = patched_ftruncate  # type: ignore[method-assign]
+    Syscalls.truncate = patched_truncate  # type: ignore[method-assign]
+    Syscalls.rename = patched_rename  # type: ignore[method-assign]
+    Syscalls.inotify_read = patched_inotify_read  # type: ignore[method-assign]
+    Syscalls.epoll_wait = patched_epoll_wait  # type: ignore[method-assign]
+    Syscalls.spawn = patched_spawn  # type: ignore[method-assign]
+    Process._guarded = patched_guarded  # type: ignore[method-assign]
+    Process._dispatch = patched_dispatch  # type: ignore[method-assign]
+    Simulator.run = patched_run  # type: ignore[method-assign]
+    Simulator.run_until = patched_run_until  # type: ignore[method-assign]
+
+    # Namespace mutators need no shadow record (directory ops are atomic
+    # in the kernel, like a concurrent map), but must set the current
+    # actor so the notify events they emit carry the mutator's clock.
+    for method_name in (
+        "mkdir",
+        "rmdir",
+        "unlink",
+        "symlink",
+        "link",
+        "chmod",
+        "chown",
+        "set_acl",
+        "setxattr",
+        "removexattr",
+    ):
+        orig_method = getattr(Syscalls, method_name)
+
+        def _make_scoped(orig):
+            def patched(self: Syscalls, *args, **kwargs):
+                if not _DETECTORS:
+                    return orig(self, *args, **kwargs)
+                previous = _enter(self)
+                try:
+                    return orig(self, *args, **kwargs)
+                finally:
+                    _leave(self, previous)
+
+            return patched
+
+        setattr(Syscalls, method_name, _make_scoped(orig_method))
+
+    notify_mod.add_delivery_tap(notify_tap)
+    rpc_mod.add_call_tap(rpc_tap)
+
+
+# -- environment opt-in ---------------------------------------------------------
+
+_env_detector: RaceDetector | None = None
+
+
+def enabled() -> bool:
+    """True when the YANCRACE environment variable requests the detector."""
+    return os.environ.get("YANCRACE", "") not in ("", "0")
+
+
+def install_from_env() -> RaceDetector | None:
+    """Install the process-wide detector if YANCRACE is set; idempotent."""
+    global _env_detector
+    if not enabled():
+        return None
+    if _env_detector is None:
+        _env_detector = RaceDetector().install()
+    return _env_detector
+
+
+def active() -> RaceDetector | None:
+    """The environment-installed detector, if any."""
+    return _env_detector
+
+
+def reset_all() -> None:
+    """Reset every active detector (test-isolation helper)."""
+    for det in _DETECTORS:
+        det.reset()

@@ -59,7 +59,10 @@ class PacketInApp(YancApp):
             buffer_path = self.yc.subscribe_events(switch, self.app_name)
         except FsError:
             return
-        self.watch(buffer_path, EventMask.IN_CREATE, ("buffer", switch))
+        # IN_MOVED_TO is the publication edge: events are assembled under
+        # a dot-temp name and renamed into place (maildir).  IN_CREATE is
+        # kept for directly-created events (tests, foreign drivers).
+        self.watch(buffer_path, EventMask.IN_CREATE | EventMask.IN_MOVED_TO, ("buffer", switch))
         self.on_switch_added(switch)
 
     def on_event(self, ctx: tuple, event: NotifyEvent) -> None:

@@ -49,6 +49,15 @@ class Cron(Process):
         self.jobs: dict[str, CronJob] = {}
         self.start()
 
+    def on_start(self) -> None:
+        """Re-arm jobs whose task died: a crash stops every periodic task,
+        but the job table survives, so a supervised restart must come back
+        with the schedule intact instead of a silently empty daemon."""
+        for job in self.jobs.values():
+            task = job._task
+            if task is None or task.stopped:  # type: ignore[attr-defined]
+                job._task = self.every(job.interval, lambda j=job: self._run(j))
+
     def add_job(self, name: str, interval: float, fn: Callable[[], None], *, start_delay: float | None = None) -> CronJob:
         """Schedule ``fn`` every ``interval`` seconds."""
         if name in self.jobs:

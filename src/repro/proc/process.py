@@ -461,6 +461,9 @@ class ProcessTable:
         proc._table = self
         if proc.proc_name == Process.proc_name:
             proc.proc_name = f"proc{pid}"
+        if proc.sc is not None:
+            proc.sc.owner_pid = pid
+            proc.sc.owner_name = proc.proc_name
         self._procs[pid] = proc
         self.cgroups.attach(self._cg_key(proc), "/")
         self.procfs.add_process(proc, self)
@@ -471,6 +474,9 @@ class ProcessTable:
         """A component took over a spawned context: same PID, new image."""
         if self._procs.get(donor.pid) is donor:
             self._procs[donor.pid] = successor
+            if successor.sc is not None:
+                successor.sc.owner_pid = successor.pid
+                successor.sc.owner_name = successor.proc_name
             self.procfs.remove_process(donor.pid)
             self.procfs.add_process(successor, self)
 

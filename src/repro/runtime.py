@@ -7,7 +7,7 @@ tests, and benchmarks stay short.
 
 from __future__ import annotations
 
-from repro.analysis import sanitizer
+from repro.analysis import race, sanitizer
 from repro.dataplane.network import Network
 from repro.drivers import OF10_VERSION, OpenFlowDriver
 from repro.perf.meter import SyscallMeter
@@ -32,6 +32,7 @@ class ControllerHost:
 
     def __init__(self, sim: Simulator | None = None, *, name: str = "ctl", mount_point: str = "/net") -> None:
         sanitizer.install_from_env()  # no-op unless YANCSAN=1
+        race.install_from_env()  # no-op unless YANCRACE=1
         self.sim = sim or Simulator()
         self.name = name
         self.vfs = VirtualFileSystem(clock=lambda: self.sim.now)

@@ -75,6 +75,14 @@ class Epoll:
         self._ready.pop(key, None)
         pollable.poll_unregister(self)
 
+    def pollables(self) -> list[object]:
+        """Every registered pollable, in registration order.
+
+        Introspection for observers (yancrace maps a ready descriptor back
+        to the clock its emitters released); not part of the epoll API.
+        """
+        return [pollable for pollable, _data in self._entries.values()]
+
     def notify_readable(self, pollable: object) -> None:
         """Pollable-side upcall: ``pollable`` went empty -> non-empty."""
         key = id(pollable)

@@ -65,6 +65,11 @@ class Syscalls:
         self._cwd = cwd
         self._fds: dict[int, FileHandle] = {}
         self._next_fd = 3
+        #: Owning-process identity, stamped by the process table at
+        #: registration; 0/"" for bare contexts (test harnesses, shells).
+        #: Diagnostics only (yancrace names racing parties with these).
+        self.owner_pid = 0
+        self.owner_name = ""
         #: Lexical (cwd, path) -> absolute-path memo.  _abspath is a pure
         #: string function, so the memo needs no invalidation — only a size
         #: bound against pathological workloads.

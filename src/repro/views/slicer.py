@@ -98,7 +98,7 @@ class Slicer(YancApp):
                 self.view_yc.create_port(switch, port_no)
         # master-side packet-in subscription for this sliced switch
         self.yc.subscribe_events(switch, self.app_name)
-        self.watch(self.yc.events_path(switch, self.app_name), EventMask.IN_CREATE, ("master_buffer", switch))
+        self.watch(self.yc.events_path(switch, self.app_name), EventMask.IN_CREATE | EventMask.IN_MOVED_TO, ("master_buffer", switch))
         # tenant-side watches
         self.watch(f"{view_path}/flows", _DIR_MASK, ("view_flows", switch))
         for flow in self.view_yc.flows(switch):

@@ -69,7 +69,7 @@ class BigSwitchVirtualizer(YancApp):
         self.watch(f"{big_path}/packet_out", _DIR_MASK | EventMask.IN_CLOSE_WRITE, ("pktout",))
         for switch in {switch for switch, _port in self.port_map.values()}:
             self.yc.subscribe_events(switch, self.app_name)
-            self.watch(self.yc.events_path(switch, self.app_name), EventMask.IN_CREATE, ("master_buffer", switch))
+            self.watch(self.yc.events_path(switch, self.app_name), EventMask.IN_CREATE | EventMask.IN_MOVED_TO, ("master_buffer", switch))
 
     # -- events ------------------------------------------------------------------------
 

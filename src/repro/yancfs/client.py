@@ -96,15 +96,22 @@ class YancClient:
     # -- switches -------------------------------------------------------------------
 
     def switches(self) -> list[str]:
-        """All switch names."""
-        return sorted(self.sc.listdir(f"{self.root}/switches"))
+        """All switch names (dot-prefixed maildir temps excluded)."""
+        return sorted(n for n in self.sc.listdir(f"{self.root}/switches") if not n.startswith("."))
 
     def create_switch(self, name: str, *, dpid: int | None = None) -> str:
-        """mkdir a switch (driver-side); returns its path."""
+        """mkdir a switch (driver-side); returns its path.
+
+        Maildir discipline: assemble under a dot-temp name, rename into
+        place once the identity files exist — a concurrently scanning
+        driver or app never observes a half-created switch.
+        """
         path = self.switch_path(name)
-        self.sc.mkdir(path)
+        tmp = f"{self.root}/switches/.{name}"
+        self.sc.mkdir(tmp)
         if dpid is not None:
-            self.sc.write_text(f"{path}/id", str(dpid))
+            self.sc.write_text(f"{tmp}/id", str(dpid))
+        self.sc.rename(tmp, path)
         return path
 
     def switch_dpid(self, name: str) -> int:
@@ -263,14 +270,24 @@ class YancClient:
         total_len: int,
         data: bytes,
     ) -> str:
-        """Driver-side: materialize one packet-in into an app's buffer."""
-        path = f"{self.events_path(switch, app)}/pi_{seq}"
-        self.sc.mkdir(path)
-        self.sc.write_text(f"{path}/in_port", str(in_port))
-        self.sc.write_text(f"{path}/reason", reason)
-        self.sc.write_text(f"{path}/buffer_id", str(buffer_id))
-        self.sc.write_text(f"{path}/total_len", str(total_len))
-        self.sc.write_bytes(f"{path}/data", data)
+        """Driver-side: materialize one packet-in into an app's buffer.
+
+        Maildir discipline: the event is assembled under a dot-prefixed
+        temp name (invisible to consumers) and atomically renamed into
+        place once complete.  Publishing with a bare ``mkdir`` first would
+        wake watchers on IN_CREATE *before* the field files exist — a torn
+        multi-file write racing every reader (yancrace flags it).
+        """
+        base = self.events_path(switch, app)
+        tmp = f"{base}/.pi_{seq}"
+        path = f"{base}/pi_{seq}"
+        self.sc.mkdir(tmp)
+        self.sc.write_text(f"{tmp}/in_port", str(in_port))
+        self.sc.write_text(f"{tmp}/reason", reason)
+        self.sc.write_text(f"{tmp}/buffer_id", str(buffer_id))
+        self.sc.write_text(f"{tmp}/total_len", str(total_len))
+        self.sc.write_bytes(f"{tmp}/data", data)
+        self.sc.rename(tmp, path)
         return path
 
     def read_events(self, switch: str, app: str, *, consume: bool = True) -> list[PacketInEvent]:
@@ -278,6 +295,8 @@ class YancClient:
         base = self.events_path(switch, app)
         events = []
         for entry in sorted(self.sc.listdir(base), key=_event_order):
+            if entry.startswith("."):
+                continue  # maildir temp: still being assembled
             path = f"{base}/{entry}"
             events.append(
                 PacketInEvent(
@@ -327,19 +346,25 @@ class YancClient:
     # -- hosts -------------------------------------------------------------------------
 
     def hosts(self) -> list[str]:
-        """All host names."""
-        return sorted(self.sc.listdir(f"{self.root}/hosts"))
+        """All host names (dot-prefixed maildir temps excluded)."""
+        return sorted(n for n in self.sc.listdir(f"{self.root}/hosts") if not n.startswith("."))
 
     def create_host(self, name: str, *, mac: str = "", ip_addr: str = "", attached_to: str = "") -> str:
-        """Record an end host (topology/ARP daemons maintain these)."""
+        """Record an end host (topology/ARP daemons maintain these).
+
+        Published maildir-style (assemble dot-temp, rename) so a scanner
+        never sees a host with its mac written but its ip still missing.
+        """
         path = f"{self.root}/hosts/{name}"
-        self.sc.mkdir(path)
+        tmp = f"{self.root}/hosts/.{name}"
+        self.sc.mkdir(tmp)
         if mac:
-            self.sc.write_text(f"{path}/mac", mac)
+            self.sc.write_text(f"{tmp}/mac", mac)
         if ip_addr:
-            self.sc.write_text(f"{path}/ip", ip_addr)
+            self.sc.write_text(f"{tmp}/ip", ip_addr)
         if attached_to:
-            self.sc.write_text(f"{path}/attached_to", attached_to)
+            self.sc.write_text(f"{tmp}/attached_to", attached_to)
+        self.sc.rename(tmp, path)
         return path
 
     # -- views -------------------------------------------------------------------------

@@ -1,0 +1,21 @@
+# yanclint: scope=app
+"""Bad fixture: polling loops that re-read state while advancing time."""
+
+
+def poll_for_commit(sc, sim):
+    while sc.read_text("/net/switches/s1/flows/f/version") != "1":  # bad: notify-before-read
+        sim.run_for(0.1)
+
+
+def poll_counters(sc, ctl):
+    for _ in range(100):  # bad: notify-before-read
+        ctl.run(0.5)
+        if sc.read_text("/net/switches/s1/counters/rx") != "0":
+            break
+
+
+def poll_events(sc, fd, net_sim):
+    while True:  # bad: notify-before-read
+        net_sim.step()
+        if sc.read_events(fd):
+            return

@@ -1,0 +1,36 @@
+# yanclint: scope=app
+"""Ok fixture: subscribe first (or don't poll) and the rule stays quiet."""
+
+
+def wait_for_commit(app, sc, sim):
+    # Subscribed: the loop only spins when the watch wakes it.
+    app.watch("/net/switches/s1/flows/f")
+    while sc.read_text("/net/switches/s1/flows/f/version") != "1":
+        sim.run_for(0.1)
+
+
+def wait_on_inotify(sc, fd, sim):
+    sc.inotify_add_watch(fd, "/net/switches/s1/counters")
+    while not sc.read_events(fd):
+        sim.run_for(0.1)
+
+
+def drain_backlog(sc, fd):
+    # Reads without advancing time: not a polling loop.
+    events = []
+    for _ in range(3):
+        events.extend(sc.read_events(fd))
+    return events
+
+
+def advance_only(sim):
+    # Advancing time without re-reading state: also fine.
+    for _ in range(3):
+        sim.run_for(1.0)
+
+
+def shell_session(sh, commands):
+    # sh.run() dispatches a command; it is not the simulator's run().
+    for command in commands:
+        sh.run(command)
+        print(sh.read_text("/proc/self/status"))

@@ -1,0 +1,22 @@
+# yanclint: scope=app
+"""Ok fixture: every staging site commits in the same function."""
+
+
+def stage_and_commit(sc, base):
+    sc.write_text(f"{base}/match.dl_type", "0x800")
+    sc.write_text(f"{base}/action.out", "2")
+    sc.write_text(f"{base}/priority", "7")
+    sc.write_text(f"{base}/version", "1")
+
+
+def create_then_commit(client):
+    client.create_flow("s1", "f1", {"match.dl_type": "0x800"}, commit=False)
+    client.commit_flow("s1", "f1")
+
+
+def create_with_default_commit(client):
+    client.create_flow("s1", "f1", {"match.dl_type": "0x800"})
+
+
+def unrelated_write(sc):
+    sc.write_text("/tmp/notes", "nothing flow-shaped here")

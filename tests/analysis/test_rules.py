@@ -61,6 +61,14 @@ def test_proc_discipline_rule():
     check_rule_pair("proc_discipline", "proc-discipline")
 
 
+def test_shared_write_discipline_rule():
+    check_rule_pair("shared_write", "shared-write-discipline")
+
+
+def test_notify_before_read_rule():
+    check_rule_pair("notify_read", "notify-before-read")
+
+
 def test_vfs_bypass_needs_scope():
     # The same constructs outside app/example scope are not flagged: the
     # bad fixture only fires because of its `# yanclint: scope=app` line.
@@ -92,7 +100,7 @@ def test_cli_list_rules(capsys):
     rc = main(["--list-rules"])
     out = capsys.readouterr().out
     assert rc == 0
-    for rule in ("determinism", "vfs-bypass", "error-discipline", "schema-coverage", "mutable-default", "shadow-builtin", "proc-discipline"):
+    for rule in ("determinism", "vfs-bypass", "error-discipline", "schema-coverage", "mutable-default", "shadow-builtin", "proc-discipline", "shared-write-discipline", "notify-before-read"):
         assert rule in out
 
 

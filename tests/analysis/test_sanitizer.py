@@ -7,6 +7,7 @@ import pytest
 
 from repro.analysis import sanitizer
 from repro.analysis.sanitizer import Sanitizer
+from repro.proc import ON_CRASH, Process, ProcessTable
 from repro.vfs import O_APPEND, O_CREAT, O_WRONLY
 from repro.vfs.notify import EventMask
 
@@ -82,7 +83,9 @@ def test_version_regression_flagged(yanc_sc, san):
 def test_uncommitted_spec_mutation_flagged(yanc_sc, san):
     base = _make_flow(yanc_sc)
     yanc_sc.write_text(f"{base}/version", "1")
-    yanc_sc.write_text(f"{base}/priority", "9")  # mutation, no version bump
+    # The torn commit is the point of this test (yancsan must flag it), so
+    # yancrace is told to look away.
+    yanc_sc.write_text(f"{base}/priority", "9")  # yancrace: disable=torn-commit
     findings = san.check()
     assert kinds(findings) == ["flow-commit"]
     assert "'priority'" in findings[0].detail
@@ -154,6 +157,64 @@ def test_uninstall_stops_recording(sc, san):
     fd = sc.open("/x", O_WRONLY | O_CREAT)
     assert san.check() == []
     sc.close(fd)
+
+
+def test_supervised_restart_recycles_descriptors_cleanly(sim, sc, san):
+    """A crash/restart cycle tears down and re-opens the process's event
+    loop; with proper per-event file discipline nothing shows as leaked."""
+
+    class Flaky(Process):
+        proc_name = "flaky"
+
+        def __init__(self, ctx, sim):
+            super().__init__(ctx, sim)
+            self.fail_next = False
+            self.handled = []
+
+        def on_start(self):
+            self.watch("/spool", EventMask.IN_CREATE, ("dir",))
+
+        def on_event(self, ctx, event):
+            if self.fail_next:
+                self.fail_next = False
+                raise RuntimeError("injected fault")
+            self.sc.write_text(f"/out/{event.name}", "ok")
+            self.handled.append(event.name)
+
+    table = ProcessTable(sc, sim)
+    sc.mkdir("/spool")
+    sc.mkdir("/out")
+    proc = Flaky(sc.spawn(), sim)
+    table.register(proc)
+    table.supervise(proc, ON_CRASH)
+    proc.start()
+    sc.write_text("/spool/a", "1")
+    sim.run()
+    assert proc.handled == ["a"]
+    proc.fail_next = True
+    sc.write_text("/spool/b", "1")
+    sim.run()  # crash, then the supervised restart (backoff elapses in-run)
+    assert proc.crashes == 1 and proc.restarts == 1
+    sc.write_text("/spool/c", "1")
+    sim.run()
+    assert "c" in proc.handled
+    assert san.check() == []
+
+
+def test_exec_takeover_keeps_leaked_fd_findings(sim, sc, san):
+    """exec-style takeover adopts the donor's syscall context as-is: a
+    descriptor the old image leaked is still open, and still reported."""
+    table = ProcessTable(sc, sim)
+    donor = table.spawn(name="legacy")
+    fd = donor.sc.open("/leaked", O_WRONLY | O_CREAT)
+    donor.sc.write(fd, b"x")
+    successor = Process(donor, name="takeover")
+    assert successor.pid == donor.pid and successor.sc is donor.sc
+    findings = san.check()
+    assert kinds(findings) == ["fd-leak"]
+    assert "/leaked" in findings[0].detail
+    successor.sc.close(fd)
+    assert san.check() == []
 
 
 def test_install_from_env(monkeypatch):

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.analysis import sanitizer
+from repro.analysis import race, sanitizer
 from repro.runtime import YancController
 from repro.sim import Simulator
 from repro.vfs.syscalls import Syscalls
@@ -26,6 +26,22 @@ def yancsan_check():
     findings = san.check()
     san.reset()
     assert not findings, "yancsan findings:\n" + "\n".join(str(f) for f in findings)
+
+
+@pytest.fixture(autouse=True)
+def yancrace_check():
+    """With YANCRACE=1, run every test under the happens-before race
+    detector and fail it on any unsynchronized access, torn commit, or
+    read of uncommitted flow state."""
+    det = race.install_from_env()
+    if det is None:
+        yield
+        return
+    det.reset()
+    yield
+    findings = det.check()
+    det.reset()
+    assert not findings, "yancrace findings:\n" + "\n".join(str(f) for f in findings)
 
 
 @pytest.fixture

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.proc import Cgroup, CgroupManager, Cron, ResourceLimitExceeded
+from repro.proc import ON_CRASH, Cgroup, CgroupManager, Cron, ResourceLimitExceeded, Supervisor
 from repro.sim import Simulator
 
 
@@ -84,6 +84,40 @@ def test_cron_stop_all():
     cron.stop()
     sim.run_until(5.0)
     assert runs == []
+
+
+def test_cron_supervised_restart_keeps_schedule():
+    """A crash stops every periodic task, but the job table survives — the
+    supervised restart must come back with the schedule re-armed, not as a
+    silently empty daemon."""
+    sim = Simulator()
+    cron = Cron(sim)
+    runs = []
+    cron.add_job("tick", 1.0, lambda: runs.append(sim.now))
+    Supervisor(sim).supervise(cron, ON_CRASH)
+    sim.run_until(2.5)
+    assert len(runs) == 2
+    cron._crash(RuntimeError("daemon fault"))
+    sim.run_until(6.5)
+    assert cron.restarts == 1
+    assert "tick" in cron.jobs
+    # the job fired again after the restart
+    assert len(runs) > 2
+    assert max(runs) > 2.5
+
+
+def test_cron_restart_does_not_double_schedule():
+    """Restarting must only re-arm dead tasks: a stop/start cycle on a
+    healthy daemon keeps one task per job, not two."""
+    sim = Simulator()
+    cron = Cron(sim)
+    runs = []
+    cron.add_job("tick", 1.0, lambda: runs.append(sim.now))
+    cron._crash(RuntimeError("fault"))
+    cron.start()
+    cron.start()  # idempotent; must not stack another task either
+    sim.run_until(3.5)
+    assert runs == [1.0, 2.0, 3.0]
 
 
 def test_cron_last_run_recorded():
