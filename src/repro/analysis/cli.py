@@ -1,17 +1,20 @@
-"""The analysis command line: ``python -m repro.analysis [race] [...]``.
+"""The analysis command line: ``python -m repro.analysis [race|yancpath] [...]``.
 
-Two subcommands share one entry point:
+Three subcommands share one entry point:
 
 * ``python -m repro.analysis [paths...]`` — **yanclint**, the static
   checker (the historical default, no subcommand word needed);
 * ``python -m repro.analysis race workload.py [args...]`` — **yancrace**,
   which runs any Python workload (an example script, a reproducer) under
-  the happens-before race detector and reports ordering findings.
+  the happens-before race detector and reports ordering findings;
+* ``python -m repro.analysis yancpath [paths...]`` — **yancpath**, the
+  whole-program path & typestate analyzer (schema-derived namespace
+  grammar, §3.4 commit protocol, fd lifecycle).
 
-Exit-code discipline (both subcommands):
+Exit-code discipline (:class:`ExitCode`, shared by every subcommand):
 
 * ``0`` — clean;
-* ``1`` — findings (races / lint diagnostics at warning or above);
+* ``1`` — findings (races / diagnostics at warning or above);
 * ``2`` — usage error (unknown rule, bad arguments);
 * ``3`` — internal error (the analyzer itself, or the workload, crashed).
 """
@@ -19,12 +22,70 @@ Exit-code discipline (both subcommands):
 from __future__ import annotations
 
 import argparse
+import enum
 import json
 import runpy
 import sys
+from typing import Callable
 
 from repro.analysis.core import all_rules
 from repro.analysis.runner import analyze_paths, exit_code, format_findings
+
+
+class ExitCode(enum.IntEnum):
+    """The 0/1/2/3 discipline every analysis subcommand follows."""
+
+    CLEAN = 0
+    FINDINGS = 1
+    USAGE = 2
+    INTERNAL = 3
+
+
+def usage_error(tool: str, *lines: str) -> int:
+    """Report a usage problem on stderr; returns ``ExitCode.USAGE``."""
+    for line in lines:
+        print(f"{tool}: {line}", file=sys.stderr)
+    return ExitCode.USAGE
+
+
+def report_findings(
+    tool: str,
+    records: list[dict],
+    *,
+    as_json: bool,
+    baseline: str | None,
+    out: str | None,
+    key: Callable[[dict], tuple],
+    render: Callable[[dict, str], str],
+) -> int:
+    """Shared emission + verdict: baseline filtering, ``--out``, JSON/text.
+
+    ``records`` are JSON-ready finding dicts; ``key`` makes them
+    comparable against a baseline file; ``render`` formats one record for
+    the text output (second argument is the ``" (baseline)"`` marker or
+    ``""``).  Returns ``FINDINGS`` when any record survives the baseline,
+    else ``CLEAN`` — the usage/internal codes come from the caller and
+    :func:`main` respectively.
+    """
+    baseline_keys: set[tuple] = set()
+    if baseline:
+        with open(baseline, encoding="utf-8") as fh:
+            baseline_keys = {key(rec) for rec in json.load(fh)}
+    fresh = [rec for rec in records if key(rec) not in baseline_keys]
+    if out:
+        with open(out, "w", encoding="utf-8") as fh:
+            json.dump(records, fh, indent=2)
+            fh.write("\n")
+    if as_json:
+        print(json.dumps(records, indent=2))
+    else:
+        for rec in records:
+            marker = " (baseline)" if key(rec) in baseline_keys else ""
+            print(render(rec, marker))
+        suppressed = len(records) - len(fresh)
+        tail = f" ({suppressed} in baseline)" if suppressed else ""
+        print(f"{tool}: {len(fresh)} finding(s){tail}")
+    return ExitCode.FINDINGS if fresh else ExitCode.CLEAN
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -61,6 +122,23 @@ def _finding_key(record: dict) -> tuple:
     return (record.get("kind", ""), record.get("path", ""), tuple(record.get("sites", ())))
 
 
+def build_yancpath_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="yancpath",
+        description="Whole-program path & typestate analysis: every syscall "
+        "site's path is checked against a namespace grammar derived from "
+        "yancfs/schema.py, plus §3.4 commit-protocol and fd-lifecycle "
+        "typestate checks.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src", "examples"], help="files or directories to analyze"
+    )
+    parser.add_argument("--json", action="store_true", help="emit findings as JSON")
+    parser.add_argument("--baseline", help="JSON findings file; only findings not in it fail the run")
+    parser.add_argument("--out", help="write the findings JSON to this file as well")
+    return parser
+
+
 def race_main(argv: list[str]) -> int:
     """yancrace subcommand; returns the process exit code."""
     args = build_race_parser().parse_args(argv)
@@ -74,31 +152,46 @@ def race_main(argv: list[str]) -> int:
     except SystemExit as exc:
         if exc.code not in (None, 0):
             print(f"yancrace: workload exited with {exc.code}", file=sys.stderr)
-            return 3
+            return ExitCode.INTERNAL
     finally:
         sys.argv = saved_argv
         detector.uninstall()
     findings = [f.to_json() for f in detector.check()]
     detector.reset()
-    baseline_keys: set[tuple] = set()
-    if args.baseline:
-        with open(args.baseline, encoding="utf-8") as fh:
-            baseline_keys = {_finding_key(rec) for rec in json.load(fh)}
-    fresh = [rec for rec in findings if _finding_key(rec) not in baseline_keys]
-    if args.out:
-        with open(args.out, "w", encoding="utf-8") as fh:
-            json.dump(findings, fh, indent=2)
-            fh.write("\n")
-    if args.json:
-        print(json.dumps(findings, indent=2))
-    else:
-        for rec in findings:
-            marker = " (baseline)" if _finding_key(rec) in baseline_keys else ""
-            print(f"yancrace [{rec['kind']}]{marker} {rec['detail']}")
-        suppressed = len(findings) - len(fresh)
-        tail = f" ({suppressed} in baseline)" if suppressed else ""
-        print(f"yancrace: {len(fresh)} finding(s){tail}")
-    return 1 if fresh else 0
+    return report_findings(
+        "yancrace",
+        findings,
+        as_json=args.json,
+        baseline=args.baseline,
+        out=args.out,
+        key=_finding_key,
+        render=lambda rec, marker: f"yancrace [{rec['kind']}]{marker} {rec['detail']}",
+    )
+
+
+def _yancpath_key(record: dict) -> tuple:
+    return (record.get("rule", ""), record.get("path", ""), record.get("line", 0))
+
+
+def yancpath_main(argv: list[str]) -> int:
+    """yancpath subcommand; returns the process exit code."""
+    args = build_yancpath_parser().parse_args(argv)
+    from repro.analysis.yancpath.checker import analyze_yancpath
+
+    findings = analyze_yancpath(list(args.paths))
+    records = [f.__dict__ | {"severity": f.severity.label} for f in findings]
+    return report_findings(
+        "yancpath",
+        records,
+        as_json=args.json,
+        baseline=args.baseline,
+        out=args.out,
+        key=_yancpath_key,
+        render=lambda rec, marker: (
+            f"{rec['path']}:{rec['line']}:{rec['col']}: "
+            f"{rec['severity']} [{rec['rule']}]{marker} {rec['message']}"
+        ),
+    )
 
 
 def lint_main(argv: list[str] | None) -> int:
@@ -107,15 +200,17 @@ def lint_main(argv: list[str] | None) -> int:
     if args.list_rules:
         for rule_id, rule in sorted(all_rules().items()):
             print(f"{rule_id:<18} {rule.severity.label:<8} {rule.description}")
-        return 0
+        return ExitCode.CLEAN
     select = set(args.select.split(",")) if args.select else None
     ignore = set(args.ignore.split(",")) if args.ignore else None
     known = set(all_rules())
     unknown = ((select or set()) | (ignore or set())) - known
     if unknown:
-        print(f"yanclint: unknown rule(s): {', '.join(sorted(unknown))}", file=sys.stderr)
-        print(f"yanclint: known rules: {', '.join(sorted(known))}", file=sys.stderr)
-        return 2
+        return usage_error(
+            "yanclint",
+            f"unknown rule(s): {', '.join(sorted(unknown))}",
+            f"known rules: {', '.join(sorted(known))}",
+        )
     findings = analyze_paths(list(args.paths), select=select, ignore=ignore)
     if args.json or args.format == "json":
         print(json.dumps([f.__dict__ | {"severity": f.severity.label} for f in findings], indent=2))
@@ -130,12 +225,24 @@ def main(argv: list[str] | None = None) -> int:
     try:
         if argv and argv[0] == "race":
             return race_main(argv[1:])
+        if argv and argv[0] == "yancpath":
+            return yancpath_main(argv[1:])
         return lint_main(argv)
     except SystemExit:
         raise  # argparse usage errors keep their exit code (2)
     except Exception as exc:  # noqa: BLE001 — CLI boundary: crash means code 3, not a traceback-as-UX
         print(f"repro.analysis: internal error: {type(exc).__name__}: {exc}", file=sys.stderr)
-        return 3
+        return ExitCode.INTERNAL
+
+
+def race_entry() -> int:
+    """Console-script entry: ``yancrace workload.py [...]``."""
+    return main(["race", *sys.argv[1:]])
+
+
+def yancpath_entry() -> int:
+    """Console-script entry: ``yancpath [paths...]``."""
+    return main(["yancpath", *sys.argv[1:]])
 
 
 if __name__ == "__main__":

@@ -5,7 +5,10 @@ whole project) and yields :class:`Finding` records.  Suppressions are
 in-source comments:
 
 * ``# yanclint: disable=<rule>[,<rule>...]`` on the flagged line silences
-  those rules for that line (``disable=all`` silences everything);
+  those rules for that line (``disable=all`` silences everything); the
+  comment may also sit on a decorator line (it applies to the decorated
+  ``def``) or on any later line of a multi-line statement (it applies to
+  the statement's first line, where findings anchor);
 * ``# yanclint: disable-file=<rule>`` anywhere silences a rule for the
   whole file;
 * ``# yanclint: scope=<app|driver|example|vfs|clock>`` declares the file's
@@ -24,6 +27,27 @@ from typing import Iterable, Iterator
 _DISABLE_RE = re.compile(r"#\s*yanclint:\s*disable=([\w,\-]+)")
 _DISABLE_FILE_RE = re.compile(r"#\s*yanclint:\s*disable-file=([\w,\-]+)")
 _SCOPE_RE = re.compile(r"#\s*yanclint:\s*scope=([\w\-]+)")
+
+#: Compound statements: their bodies are *other* statements' lines, so a
+#: disable inside the body must not bubble up to the header.
+_COMPOUND_STMTS = tuple(
+    getattr(ast, name)
+    for name in (
+        "FunctionDef",
+        "AsyncFunctionDef",
+        "ClassDef",
+        "If",
+        "For",
+        "AsyncFor",
+        "While",
+        "With",
+        "AsyncWith",
+        "Try",
+        "TryStar",
+        "Match",
+    )
+    if hasattr(ast, name)
+)
 
 
 class Severity(enum.IntEnum):
@@ -75,6 +99,7 @@ class SourceFile:
         tree = ast.parse(text, filename=path)
         src = cls(path=path, text=text, tree=tree)
         src._scan_comments()
+        src._propagate_disables()
         src.scopes |= scopes_from_path(path)
         return src
 
@@ -88,6 +113,33 @@ class SourceFile:
                 self.file_disables.update(match.group(1).split(","))
             for match in _SCOPE_RE.finditer(line):
                 self.scopes.add(match.group(1))
+
+    def _propagate_disables(self) -> None:
+        """Attach disables written on secondary lines to the anchor line.
+
+        Findings anchor at a statement's *first* line (the ``def`` line of
+        a decorated function, the opening line of a multi-line call) — but
+        the natural place to write the comment is often a decorator line
+        or the closing line of the statement.  Copy those onto the anchor.
+        """
+        if not self.line_disables:
+            return
+        extra: dict[int, set[str]] = {}
+        for node in ast.walk(self.tree):
+            if not isinstance(node, ast.stmt):
+                continue
+            anchor = node.lineno
+            span: set[int] = set()
+            for deco in getattr(node, "decorator_list", ()):
+                span.update(range(deco.lineno, anchor))
+            if not isinstance(node, _COMPOUND_STMTS):
+                span.update(range(anchor + 1, (node.end_lineno or anchor) + 1))
+            for lineno in span:
+                rules = self.line_disables.get(lineno)
+                if rules:
+                    extra.setdefault(anchor, set()).update(rules)
+        for anchor, rules in extra.items():
+            self.line_disables.setdefault(anchor, set()).update(rules)
 
     def is_suppressed(self, rule: str, line: int) -> bool:
         """True when ``rule`` is disabled for ``line`` (or the whole file)."""

@@ -2,12 +2,14 @@
 
 The yanc tree "never holds an unparseable configuration" (yancfs/validate)
 — but only for files that actually *carry* a validator.  This cross-module
-rule instantiates the real schema (a throwaway in-memory tree with one
-switch, port, and flow), walks every populated :class:`AttributeFile`, and
-demands each one either has a validator or is explicitly registered as
-free-form in ``validate.FREE_FORM_ATTRIBUTES``.  It also checks the flow
-vocabulary: every ``match.<field>`` from ``MATCH_FIELD_NAMES`` and every
-core flow attribute must resolve through ``flow_file_validator``.
+rule walks every :class:`AttributeFile` in the derived namespace model
+(:class:`repro.analysis.yancpath.grammar.NamespaceModel`, whose probe tree
+instantiates one object of every kind: switch, port, flow, event message,
+host, view, middlebox state entry) and demands each one either has a
+validator or is explicitly registered as free-form in
+``validate.FREE_FORM_ATTRIBUTES``.  It also checks the flow vocabulary:
+every ``match.<field>`` from ``MATCH_FIELD_NAMES`` and every core flow
+attribute must resolve through ``flow_file_validator``.
 
 Findings anchor to the declaration site in ``yancfs/schema.py``.
 """
@@ -32,11 +34,8 @@ class SchemaCoverageRule(ProjectRule):
 
     def check_project(self, files: Iterable[SourceFile]) -> Iterator[Finding]:
         try:
-            from repro.vfs.inode import DirInode, Inode
-            from repro.vfs.syscalls import Syscalls
-            from repro.vfs.vfs import VirtualFileSystem
+            from repro.analysis.yancpath.grammar import NamespaceModel
             from repro.yancfs import validate
-            from repro.yancfs.client import mount_yancfs
             from repro.yancfs.schema import AttributeFile
         except ImportError as exc:
             yield Finding("repro/yancfs/schema.py", 1, 1, self.id, self.severity, f"cannot import yancfs to check coverage: {exc}")
@@ -44,16 +43,10 @@ class SchemaCoverageRule(ProjectRule):
 
         free_form = getattr(validate, "FREE_FORM_ATTRIBUTES", frozenset())
         schema_path, schema_lines = _schema_source()
-
-        sc = Syscalls(VirtualFileSystem())
-        mount_yancfs(sc)
-        sc.mkdir("/net/switches/s1")
-        sc.mkdir("/net/switches/s1/ports/port_1")
-        sc.mkdir("/net/switches/s1/flows/probe")
-        switch = sc.vfs.resolve(sc.ns, sc.cred, "/net/switches/s1")
+        model = NamespaceModel.build()
 
         seen: set[str] = set()
-        for name, node in _walk_inodes(switch, DirInode, Inode):
+        for name, node in model.iter_files():
             if not isinstance(node, AttributeFile) or node.validator is not None:
                 continue
             if name in free_form:
@@ -103,19 +96,6 @@ class SchemaCoverageRule(ProjectRule):
                     severity=self.severity,
                     message=f"match field {field!r} has no close-time validator via flow_file_validator",
                 )
-
-
-def _walk_inodes(root, dir_cls, inode_cls) -> Iterator[tuple[str, object]]:
-    stack = [root]
-    while stack:
-        node = stack.pop()
-        if not isinstance(node, dir_cls):
-            continue
-        for name, child in node.children():
-            if isinstance(child, dir_cls):
-                stack.append(child)
-            else:
-                yield name, child
 
 
 def _schema_source() -> tuple[str, list[str]]:

@@ -1,0 +1,34 @@
+"""yancpath: schema-aware interprocedural path & typestate analysis.
+
+The yanc thesis — "the file system *is* the API" (§3) — means the bug
+classes a typed controller framework rejects at compile time appear here
+as *strings*: a mistyped ``/net/switches/<sw>/flows/...`` path, a value
+written in a format the target file's validator rejects, a flow mutated
+without its §3.4 ``version`` commit, an fd leaked on an exception path.
+yanclint's per-file rules catch the syntactic shapes and yancrace only
+sees what a workload executes; yancpath closes the gap statically, for
+every line of apps/drivers/views/examples, before anything runs.
+
+Three layers:
+
+* :mod:`repro.analysis.yancpath.grammar` — a **namespace model derived
+  from the live schema** (``yancfs/schema.py`` + ``validate.py``) at
+  analysis time, so the model can never drift from the tree it judges;
+* :mod:`repro.analysis.yancpath.patterns` — an abstract string lattice
+  for paths built from constants, f-strings, ``os.path.join``, and
+  helper-function summaries;
+* :mod:`repro.analysis.yancpath.interp` — the interprocedural abstract
+  interpreter: per-syscall-site path checks plus the fd-lifecycle and
+  flow-commit typestate passes.
+
+Findings ship through the ordinary :class:`repro.analysis.core.Finding`
+machinery, so ``# yanclint: disable=<kind>`` suppressions work the same
+way they do for yanclint rules.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.yancpath.checker import KINDS, analyze_yancpath
+from repro.analysis.yancpath.grammar import NamespaceModel
+
+__all__ = ["KINDS", "NamespaceModel", "analyze_yancpath"]

@@ -1,0 +1,229 @@
+"""yancpath orchestration: interpret every module, judge every site.
+
+The checker wires the three layers together: it derives a
+:class:`~repro.analysis.yancpath.grammar.NamespaceModel` from the live
+schema, runs the :class:`~repro.analysis.yancpath.interp.FuncInterp`
+abstract interpreter over every function and module body in the analyzed
+tree, and turns the recorded syscall sites and typestate results into
+ordinary :class:`repro.analysis.core.Finding` records:
+
+* ``unknown-path`` (error) — the site's path pattern is *about* the yanc
+  tree (anchored at the mount, or naming a structural directory) but no
+  interpretation of it can exist in the derived namespace;
+* ``bad-write-format`` (error) — a compile-time-constant payload that
+  every possible target file's validator rejects;
+* ``event-buffer-misuse`` (error, app/example scope) — writing inside a
+  §3.5 event buffer (driver-filled, app-read) or reading the
+  ``packet_out`` spool (app-filled, driver-read);
+* ``flow-no-commit`` (warning) — a flow spec write with no ``version``
+  increment on some normal path to the function exit (§3.4);
+* ``fd-leak-on-exception`` (warning) — an ``open`` whose fd can escape
+  down an exception edge without reaching ``close``.
+
+Suppressions are the ordinary ``# yanclint: disable=<kind>`` comments.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.analysis.core import Finding, Severity, SourceFile
+from repro.analysis.yancpath import patterns as P
+from repro.analysis.yancpath.grammar import NamespaceModel
+from repro.analysis.yancpath.interp import FuncInterp, ProjectIndex
+
+KINDS = (
+    "unknown-path",
+    "bad-write-format",
+    "event-buffer-misuse",
+    "flow-no-commit",
+    "fd-leak-on-exception",
+)
+
+_SEVERITY = {
+    "unknown-path": Severity.ERROR,
+    "bad-write-format": Severity.ERROR,
+    "event-buffer-misuse": Severity.ERROR,
+    "flow-no-commit": Severity.WARNING,
+    "fd-leak-on-exception": Severity.WARNING,
+}
+
+_WRITEISH = frozenset({"write_text", "write_bytes", "mkdir", "makedirs"})
+_READISH = frozenset({"read_text", "read_bytes", "listdir", "open", "walk"})
+
+
+def make_judge(model: NamespaceModel):
+    """The flow-file role oracle the interpreter's §3.4 machine uses.
+
+    A write is judged by where its finalized pattern lands: the file
+    directly under ``flows/<name>/`` is a *commit* when it is ``version``
+    and a *staging* write when it is a spec file (a registered flow
+    attribute, a ``match.*``/``action.*`` field, or a name too dynamic to
+    tell — the flow pusher writes ``f"{path}/{filename}"``).  Driver ack
+    files (``state.*``) and anything deeper (``counters/``) are neither.
+    """
+    spec_names = model.flow_spec_names()
+    spec_prefixes = model.flow_spec_prefixes()
+
+    def judge(tokens: tuple) -> str | None:
+        pattern = P.finalize(tokens)
+        if pattern is None or len(pattern.atoms) < 3:
+            return None
+        flows = pattern.atoms[-3]
+        if flows is P.STAR or flows.literal != "flows":
+            return None
+        last = pattern.atoms[-1]
+        if last is P.STAR:
+            return None
+        literal = last.literal
+        if literal == "version":
+            return "commit"
+        if literal is None:
+            return "stage"
+        if literal.startswith("state."):
+            return None
+        if literal in spec_names or literal.startswith(spec_prefixes):
+            return "stage"
+        return None
+
+    return judge
+
+
+def analyze_yancpath(
+    paths: list[str], *, model: NamespaceModel | None = None
+) -> list[Finding]:
+    """Run the whole-program analysis over files/directories ``paths``."""
+    from repro.analysis.loader import load_files
+
+    sources, findings = load_files(paths)
+    findings.extend(analyze_sources(sources, model=model))
+    findings.sort(key=Finding.sort_key)
+    return findings
+
+
+def analyze_sources(
+    sources: Iterable[SourceFile], *, model: NamespaceModel | None = None
+) -> list[Finding]:
+    """Analyze already-parsed sources (the CLI adds loader findings)."""
+    sources = list(sources)
+    if model is None:
+        model = NamespaceModel.build()
+    index = ProjectIndex(sources, make_judge(model))
+    out: list[Finding] = []
+    for module in index.modules:
+        src: SourceFile = module.src
+        emitted: set[tuple[int, int, str]] = set()
+
+        def emit(kind: str, node, message: str) -> None:
+            line = getattr(node, "lineno", 1)
+            col = getattr(node, "col_offset", 0) + 1
+            key = (line, col, kind)
+            if key in emitted or src.is_suppressed(kind, line):
+                return
+            emitted.add(key)
+            out.append(
+                Finding(
+                    path=src.path,
+                    line=line,
+                    col=col,
+                    rule=kind,
+                    severity=_SEVERITY[kind],
+                    message=message,
+                )
+            )
+
+        interps = [FuncInterp(index, None, module=module)]
+        interps += [FuncInterp(index, decl) for decl in module.functions]
+        for interp in interps:
+            interp.run()
+            for kind, node in interp.local_findings:
+                if kind == "flow-no-commit":
+                    emit(
+                        kind,
+                        node,
+                        "flow spec write reaches a function exit with no "
+                        "version increment on that path (§3.4 commit protocol)",
+                    )
+                else:
+                    emit(
+                        kind,
+                        node,
+                        "fd from open() can leak on an exception path; "
+                        "close it in a finally block",
+                    )
+            for site in interp.sites:
+                _judge_site(site, src, model, emit)
+    return out
+
+
+def _judge_site(site, src: SourceFile, model: NamespaceModel, emit) -> None:
+    for position, tokens in enumerate(site.paths):
+        pattern = P.finalize(tokens)
+        if pattern is None or not pattern.atoms:
+            continue
+        result = model.match(pattern)
+        if not result.applicable:
+            continue
+        if not result.matched:
+            emit(
+                "unknown-path",
+                site.node,
+                f"{site.method}() path {pattern.render()!r} cannot exist "
+                "in the yanc namespace (derived from yancfs/schema.py)",
+            )
+            continue
+        if not result.exhaustive:
+            continue  # resolution cap hit: too ambiguous to judge further
+        resolutions = result.resolutions
+        if (
+            site.method == "write_text"
+            and position == 0
+            and isinstance(site.content, str)
+            and resolutions
+            and all(
+                not r.is_dir and r.validator_known and r.validator is not None
+                for r in resolutions
+            )
+        ):
+            rejection = _rejected_by_all(site.content, resolutions)
+            if rejection is not None:
+                emit(
+                    "bad-write-format",
+                    site.node,
+                    f"payload {site.content!r} is rejected by the target "
+                    f"file's validator ({rejection}); written as "
+                    f"{pattern.render()!r}",
+                )
+        scoped = "app" in src.scopes or "example" in src.scopes
+        if scoped and resolutions:
+            if site.method in _WRITEISH and all(r.in_event_buffer for r in resolutions):
+                emit(
+                    "event-buffer-misuse",
+                    site.node,
+                    f"{site.method}() inside a §3.5 event buffer: buffers "
+                    "are driver-filled and app-read; apps must not write "
+                    "event messages",
+                )
+            elif site.method in _READISH and all(r.in_packet_out for r in resolutions):
+                emit(
+                    "event-buffer-misuse",
+                    site.node,
+                    f"{site.method}() from the packet_out spool: the spool "
+                    "is app-written and driver-consumed; apps must not "
+                    "read it back",
+                )
+
+
+def _rejected_by_all(content: str, resolutions) -> str | None:
+    """The rejection message when every candidate validator refuses."""
+    message = None
+    for resolution in resolutions:
+        try:
+            resolution.validator(content)
+            return None
+        except Exception as exc:  # noqa: BLE001 — validators raise typed errors
+            message = str(exc) or type(exc).__name__
+    return message
+
+
+__all__ = ["KINDS", "analyze_sources", "analyze_yancpath", "make_judge"]

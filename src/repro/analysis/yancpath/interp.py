@@ -1,0 +1,901 @@
+"""The yancpath interprocedural abstract interpreter.
+
+One structural pass per function (and per module body, which examples use
+as their main program) evaluates every expression into the token-string
+lattice of :mod:`repro.analysis.yancpath.patterns`, records each
+recognized syscall site with its abstract path arguments, and runs two
+typestate machines on the way through:
+
+* **fd lifecycle** — an fd returned by ``open`` must reach ``close`` on
+  every path, including exception edges; a ``try/finally`` whose finally
+  closes the fd protects it, passing the fd to another function
+  transfers ownership, returning it hands it to the caller;
+* **flow commit (§3.4)** — a write that stages flow spec state
+  (``match.*``/``action.*``/``priority``/``timeout``/...) obligates a
+  ``version`` increment before every *normal* exit of the function;
+  exception paths are exempt (a helper bailing on bad input is not a
+  protocol violation, and the partially-staged flow is invisible to the
+  driver until versioned anyway).
+
+Interprocedural reasoning is by summaries: each function's return value
+is summarized as a token string with *named* holes for its parameters
+(substituted at call sites, so ``yc.flow_path(sw, n)`` composes exactly),
+plus a commit effect — ``always`` (the function commits on every normal
+path), ``never``, or ``cond(<param>)`` for the ``if commit:`` idiom that
+``create_flow`` and the flow pusher use — and a ``stages`` bit saying
+whether it writes spec files at all.  Summaries are memoized and guarded
+against recursion (an in-progress callee summarizes as unknown).
+
+Everything here errs toward silence: an expression the lattice cannot
+track becomes an anonymous hole, a call it cannot resolve returns
+unknown, and the checker only flags what the grammar *positively*
+refutes.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.analysis.yancpath import patterns as P
+
+# -- the recognized syscall surface ----------------------------------------------------
+
+#: method name -> indices of positional args that are paths.
+PATH_ARGS: dict[str, tuple[int, ...]] = {
+    "open": (0,),
+    "read_text": (0,),
+    "read_bytes": (0,),
+    "write_text": (0,),
+    "write_bytes": (0,),
+    "mkdir": (0,),
+    "makedirs": (0,),
+    "rmdir": (0,),
+    "unlink": (0,),
+    "rename": (0, 1),
+    "symlink": (0, 1),
+    "readlink": (0,),
+    "link": (0, 1),
+    "stat": (0,),
+    "lstat": (0,),
+    "exists": (0,),
+    "listdir": (0,),
+    "truncate": (0,),
+    "chmod": (0,),
+    "chown": (0,),
+    "walk": (0,),
+    "inotify_add_watch": (1,),
+    "watch": (0,),
+}
+
+#: fd-consuming syscalls that do NOT transfer ownership of a tracked fd.
+FD_SAFE_METHODS = frozenset(
+    {"close", "read", "write", "pread", "pwrite", "fstat", "lseek", "ftruncate", "fsync"}
+)
+
+_WRITE_METHODS = frozenset({"write_text", "write_bytes"})
+
+
+def syscall_method(call: ast.Call) -> str | None:
+    """The syscall name when ``call``'s receiver looks like a Syscalls.
+
+    Recognized receivers: a bare ``sc``/``syscalls`` name, any attribute
+    spelled ``.sc`` / ``.root_sc`` (``self.sc``, ``host.root_sc``), and
+    ``self`` itself for ``watch`` only (the Process run-loop helper).
+    """
+    func = call.func
+    if not isinstance(func, ast.Attribute):
+        return None
+    method = func.attr
+    base = func.value
+    if isinstance(base, ast.Name):
+        if base.id in ("sc", "syscalls"):
+            return method
+        if base.id == "self" and method == "watch":
+            return method
+    elif isinstance(base, ast.Attribute) and base.attr in ("sc", "root_sc"):
+        return method
+    return None
+
+
+# -- project indexing ------------------------------------------------------------------
+
+
+@dataclass
+class FuncDecl:
+    """One function or method, ready to interpret."""
+
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    module: "ModuleInfo"
+    class_name: str | None
+    params: tuple[str, ...]  # leading self dropped for methods
+    defaults: dict[str, ast.expr]
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+
+@dataclass
+class ModuleInfo:
+    """Per-module interpretation context."""
+
+    src: object  # core.SourceFile
+    functions: list[FuncDecl] = field(default_factory=list)
+    by_class: dict[str, dict[str, FuncDecl]] = field(default_factory=dict)
+    class_bases: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    global_env: dict[str, tuple] = field(default_factory=dict)
+
+
+@dataclass
+class Summary:
+    """What a call site needs to know about a callee."""
+
+    ret: tuple  # token string, named holes = params
+    effect: tuple  # ("always",) | ("never",) | ("cond", param)
+    stages: bool  # writes flow spec files (directly or transitively)
+
+
+_UNKNOWN_SUMMARY = Summary(ret=P.UNKNOWN, effect=("never",), stages=False)
+
+
+def _decl_of(node, module: ModuleInfo, class_name: str | None) -> FuncDecl:
+    args = node.args
+    names = [a.arg for a in args.posonlyargs + args.args]
+    defaults: dict[str, ast.expr] = {}
+    pos_defaults = args.defaults
+    if pos_defaults:
+        for name, default in zip(names[-len(pos_defaults) :], pos_defaults):
+            defaults[name] = default
+    for kwarg, default in zip(args.kwonlyargs, args.kw_defaults):
+        if default is not None:
+            defaults[kwarg.arg] = default
+        names.append(kwarg.arg)
+    if class_name is not None and names and names[0] in ("self", "cls"):
+        names = names[1:]
+    return FuncDecl(
+        node=node, module=module, class_name=class_name, params=tuple(names), defaults=defaults
+    )
+
+
+class ProjectIndex:
+    """Call-graph index + summary cache over all analyzed modules."""
+
+    def __init__(self, sources, judge: Callable[[tuple], str | None]):
+        self.judge = judge
+        self.modules: list[ModuleInfo] = []
+        self.by_name: dict[str, list[FuncDecl]] = {}
+        #: class name -> its module, None when the name is ambiguous.
+        self.classes: dict[str, ModuleInfo | None] = {}
+        self._summaries: dict[int, Summary] = {}
+        self._in_progress: set[int] = set()
+        self._attr_envs: dict[tuple[int, str], tuple[dict, dict]] = {}
+        for src in sources:
+            module = ModuleInfo(src=src)
+            for stmt in src.tree.body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    self._add(_decl_of(stmt, module, None))
+                elif isinstance(stmt, ast.ClassDef):
+                    methods = module.by_class.setdefault(stmt.name, {})
+                    module.class_bases[stmt.name] = tuple(
+                        b.id for b in stmt.bases if isinstance(b, ast.Name)
+                    )
+                    self.classes[stmt.name] = None if stmt.name in self.classes else module
+                    for item in stmt.body:
+                        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                            decl = _decl_of(item, module, stmt.name)
+                            methods[item.name] = decl
+                            self._add(decl)
+                elif isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                    target = stmt.targets[0]
+                    if isinstance(target, ast.Name) and isinstance(stmt.value, ast.Constant):
+                        if isinstance(stmt.value.value, str):
+                            module.global_env[target.id] = P.tokens_from_literal(stmt.value.value)
+            self.modules.append(module)
+
+    def method_on(self, class_name: str, method: str, _seen: frozenset = frozenset()) -> FuncDecl | None:
+        """Look ``method`` up on ``class_name``, walking declared bases."""
+        if class_name in _seen:
+            return None
+        module = self.classes.get(class_name)
+        if module is None:
+            return None
+        decl = module.by_class.get(class_name, {}).get(method)
+        if decl is not None:
+            return decl
+        for base in module.class_bases.get(class_name, ()):
+            found = self.method_on(base, method, _seen | {class_name})
+            if found is not None:
+                return found
+        return None
+
+    def _add(self, decl: FuncDecl) -> None:
+        self.by_name.setdefault(decl.name, []).append(decl)
+        decl.module.functions.append(decl)
+
+    # -- summaries -------------------------------------------------------------------
+
+    def summary(self, decl: FuncDecl) -> Summary:
+        key = id(decl.node)
+        cached = self._summaries.get(key)
+        if cached is not None:
+            return cached
+        if key in self._in_progress:
+            return _UNKNOWN_SUMMARY
+        self._in_progress.add(key)
+        try:
+            interp = FuncInterp(self, decl)
+            interp.run()
+            ret = None
+            for tokens in interp.returns:
+                ret = P.merge(ret, tokens)
+            if ret is None:
+                ret = P.UNKNOWN
+            if interp.cond_commit is not None:
+                effect: tuple = ("cond", interp.cond_commit)
+            elif interp.exit_committed and all(interp.exit_committed):
+                effect = ("always",)
+            else:
+                effect = ("never",)
+            summary = Summary(ret=ret, effect=effect, stages=interp.ever_staged)
+        finally:
+            self._in_progress.discard(key)
+        self._summaries[key] = summary
+        return summary
+
+    def resolve_call(
+        self, call: ast.Call, caller: FuncDecl | None, recv_type: str | None = None
+    ) -> FuncDecl | None:
+        """Best-effort callee resolution: receiver type, then unique name."""
+        func = call.func
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+            if recv_type is not None:
+                typed = self.method_on(recv_type, name)
+                if typed is not None:
+                    return typed
+            if (
+                isinstance(func.value, ast.Name)
+                and func.value.id == "self"
+                and caller is not None
+                and caller.class_name is not None
+            ):
+                own = self.method_on(caller.class_name, name)
+                if own is not None and own.module is caller.module:
+                    return own
+                own = caller.module.by_class.get(caller.class_name, {}).get(name)
+                if own is not None:
+                    return own
+        else:
+            return None
+        candidates = self.by_name.get(name)
+        if not candidates:
+            return None
+        if len(candidates) == 1:
+            return candidates[0]
+        # Ambiguous names are only usable when every definition agrees on
+        # the parameter list and commit behaviour; otherwise stay silent.
+        first = self.summary(candidates[0])
+        params = candidates[0].params
+        for other in candidates[1:]:
+            if other.params != params:
+                return None
+            summ = self.summary(other)
+            if summ.effect != first.effect or summ.stages != first.stages:
+                return None
+        return candidates[0]
+
+    # -- instance attribute environments ---------------------------------------------
+
+    def attr_env(self, module: ModuleInfo, class_name: str) -> tuple[dict, dict]:
+        """``(values, types)`` for ``self.X``, gleaned from ``__init__``.
+
+        Named parameter holes are anonymized: outside the constructor the
+        argument values are unknown, but the *shape* (``self.root`` is a
+        single segment, ``self.log_path`` is ``/var/...``) survives — and
+        ``self.yc = YancClient(...)`` types the attribute so method calls
+        through it resolve to the right class.  Declared base classes
+        contribute their own ``__init__`` attributes underneath.
+        """
+        key = (id(module.src), class_name)
+        cached = self._attr_envs.get(key)
+        if cached is not None:
+            return cached
+        self._attr_envs[key] = ({}, {})  # recursion guard
+        env: dict[str, tuple] = {}
+        types: dict[str, str] = {}
+        for base in module.class_bases.get(class_name, ()):
+            base_module = self.classes.get(base)
+            if base_module is not None:
+                base_env, base_types = self.attr_env(base_module, base)
+                env.update(base_env)
+                types.update(base_types)
+        init = module.by_class.get(class_name, {}).get("__init__")
+        if init is not None:
+            interp = FuncInterp(self, init)
+            interp.run()
+            env.update(
+                {
+                    name: _anonymize(tokens)
+                    for name, tokens in interp.state.env.items()
+                    if name.startswith("self.")
+                }
+            )
+            types.update(
+                {name: t for name, t in interp.state.types.items() if name.startswith("self.")}
+            )
+        self._attr_envs[key] = (env, types)
+        return self._attr_envs[key]
+
+
+def _anonymize(tokens: tuple) -> tuple:
+    return tuple(P.hole_token() if t[0] == "hole" else t for t in tokens)
+
+
+# -- interpreter state -----------------------------------------------------------------
+
+
+@dataclass
+class FdInfo:
+    site: ast.AST
+    protected: bool = False
+
+
+@dataclass
+class State:
+    env: dict[str, tuple] = field(default_factory=dict)
+    types: dict[str, str] = field(default_factory=dict)  # var -> class name
+    fds: dict[str, FdInfo] = field(default_factory=dict)
+    staged: dict[int, ast.AST] = field(default_factory=dict)  # id(node) -> node
+    committed: bool = False
+    returned: bool = False
+
+    def clone(self) -> "State":
+        return State(
+            env=dict(self.env),
+            types=dict(self.types),
+            fds={k: FdInfo(v.site, v.protected) for k, v in self.fds.items()},
+            staged=dict(self.staged),
+            committed=self.committed,
+            returned=self.returned,
+        )
+
+
+def _merge_states(a: State, b: State) -> State:
+    """Join two branch states (the continuation of an If/Try)."""
+    if a.returned and not b.returned:
+        return b
+    if b.returned and not a.returned:
+        return a
+    env: dict[str, tuple] = {}
+    for name in set(a.env) | set(b.env):
+        env[name] = P.merge(a.env.get(name), b.env.get(name))
+    types = {name: t for name, t in a.types.items() if b.types.get(name) == t}
+    fds: dict[str, FdInfo] = {}
+    for name in set(a.fds) | set(b.fds):
+        fa, fb = a.fds.get(name), b.fds.get(name)
+        keep = fa or fb
+        fds[name] = FdInfo(keep.site, (fa.protected if fa else True) and (fb.protected if fb else True))
+    staged = dict(a.staged)
+    staged.update(b.staged)
+    return State(
+        env=env,
+        types=types,
+        fds=fds,
+        staged=staged,
+        committed=a.committed and b.committed,
+        returned=a.returned and b.returned,
+    )
+
+
+# -- recorded syscall sites ------------------------------------------------------------
+
+
+@dataclass
+class Site:
+    """One recognized syscall call with its abstract path arguments."""
+
+    node: ast.Call
+    method: str
+    paths: tuple[tuple, ...]  # token string per path argument
+    content: object = None  # compile-time constant payload for write_text/bytes
+
+
+_STMT_BUDGET = 20000
+
+
+class FuncInterp:
+    """Interpret one function body (or a module body as a pseudo-function)."""
+
+    def __init__(self, index: ProjectIndex, decl: FuncDecl | None, module: ModuleInfo | None = None):
+        self.index = index
+        self.decl = decl
+        self.module = decl.module if decl is not None else module
+        self.state = State()
+        self.sites: list[Site] = []
+        self.returns: list[tuple] = []
+        self.exit_committed: list[bool] = []
+        self.cond_commit: str | None = None
+        self.ever_staged = False
+        #: (kind, node) local typestate findings for the checker.
+        self.local_findings: list[tuple[str, ast.AST]] = []
+        self._leaked: set[int] = set()
+        self._uncommitted: set[int] = set()
+        self._finally_closes: list[set[str]] = []
+        self._budget = _STMT_BUDGET
+        self.params: tuple[str, ...] = decl.params if decl is not None else ()
+
+    def run(self) -> None:
+        for name in self.params:
+            self.state.env[name] = (P.hole_token(name),)
+        body = self.decl.node.body if self.decl is not None else self.module.src.tree.body
+        self.visit_block(body, self.state)
+        if not self.state.returned:
+            self._exit(self.state, node=None, value_name=None)
+
+    # -- statements ------------------------------------------------------------------
+
+    def visit_block(self, stmts, state: State) -> None:
+        for stmt in stmts:
+            if state.returned or self._budget <= 0:
+                return
+            self._budget -= 1
+            before = {
+                name for name, fd in state.fds.items() if not fd.protected
+            }
+            self.visit_stmt(stmt, state)
+            if before and _may_raise(stmt):
+                for name in before:
+                    fd = state.fds.get(name)
+                    if fd is not None and not fd.protected:
+                        self._leak(fd.site)
+
+    def visit_stmt(self, stmt, state: State) -> None:
+        if isinstance(stmt, ast.Assign):
+            value = self.eval(stmt.value, state)
+            value_type = self._type_of(stmt.value, state)
+            for target in stmt.targets:
+                self._assign(target, value, state, value_type)
+            self._track_open(stmt, state)
+        elif isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                value = self.eval(stmt.value, state)
+                self._assign(stmt.target, value, state)
+                self._track_open(stmt, state)
+        elif isinstance(stmt, ast.AugAssign):
+            value = self.eval(stmt.value, state)
+            if isinstance(stmt.op, ast.Add) and isinstance(stmt.target, ast.Name):
+                old = state.env.get(stmt.target.id, P.UNKNOWN)
+                state.env[stmt.target.id] = P.concat(old, value)
+            elif isinstance(stmt.target, ast.Name):
+                state.env[stmt.target.id] = P.UNKNOWN
+        elif isinstance(stmt, ast.Expr):
+            self.eval(stmt.value, state)
+        elif isinstance(stmt, ast.Return):
+            value_name = stmt.value.id if isinstance(stmt.value, ast.Name) else None
+            tokens = self.eval(stmt.value, state) if stmt.value is not None else None
+            if tokens is not None:
+                self.returns.append(tokens)
+            self._exit(state, node=stmt, value_name=value_name)
+            state.returned = True
+        elif isinstance(stmt, ast.If):
+            self._visit_if(stmt, state)
+        elif isinstance(stmt, (ast.For, ast.AsyncFor)):
+            self.eval(stmt.iter, state)
+            body_state = state.clone()
+            self._bind_holes(stmt.target, body_state)
+            self.visit_block(stmt.body, body_state)
+            merged = _merge_states(state, body_state)
+            self._replace(state, merged)
+            self.visit_block(stmt.orelse, state)
+        elif isinstance(stmt, ast.While):
+            self.eval(stmt.test, state)
+            body_state = state.clone()
+            self.visit_block(stmt.body, body_state)
+            merged = _merge_states(state, body_state)
+            self._replace(state, merged)
+            self.visit_block(stmt.orelse, state)
+        elif isinstance(stmt, ast.Try):
+            self._visit_try(stmt, state)
+        elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self.eval(item.context_expr, state)
+                if item.optional_vars is not None:
+                    self._bind_holes(item.optional_vars, state)
+            self.visit_block(stmt.body, state)
+        elif isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self.eval(stmt.exc, state)
+            for fd in state.fds.values():
+                if not fd.protected:
+                    self._leak(fd.site)
+            state.returned = True  # this path ends; §3.4 obligations waived
+        elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            state.env[stmt.name] = P.UNKNOWN
+        elif isinstance(stmt, (ast.Delete, ast.Assert, ast.Global, ast.Nonlocal)):
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self.eval(child, state)
+        elif isinstance(stmt, (ast.Import, ast.ImportFrom, ast.Pass, ast.Break, ast.Continue)):
+            pass
+        else:
+            for child in ast.iter_child_nodes(stmt):
+                if isinstance(child, ast.expr):
+                    self.eval(child, state)
+
+    def _visit_if(self, stmt: ast.If, state: State) -> None:
+        self.eval(stmt.test, state)
+        then_state = state.clone()
+        self.visit_block(stmt.body, then_state)
+        else_state = state.clone()
+        self.visit_block(stmt.orelse, else_state)
+        merged = _merge_states(then_state, else_state)
+        # The §3.4 `if commit: ...commit...` idiom: a parameter guards the
+        # commit.  The function's obligation becomes conditional — record
+        # it for the summary and treat the local obligation as discharged
+        # (callers passing commit=False inherit the staging).
+        if (
+            isinstance(stmt.test, ast.Name)
+            and stmt.test.id in self.params
+            and not stmt.orelse
+            and then_state.committed
+            and not state.committed
+        ):
+            self.cond_commit = stmt.test.id
+            merged.staged = dict(then_state.staged)
+            merged.committed = state.committed
+        self._replace(state, merged)
+
+    def _visit_try(self, stmt: ast.Try, state: State) -> None:
+        closes = _closed_fd_names(stmt.finalbody)
+        for name in closes:
+            fd = state.fds.get(name)
+            if fd is not None:
+                fd.protected = True
+        self._finally_closes.append(closes)
+        body_state = state.clone()
+        self.visit_block(stmt.body, body_state)
+        self._finally_closes.pop()
+        results = [body_state]
+        for handler in stmt.handlers:
+            handler_state = _merge_states(state, body_state).clone()
+            handler_state.returned = False
+            if handler.name:
+                handler_state.env[handler.name] = P.UNKNOWN
+            self.visit_block(handler.body, handler_state)
+            results.append(handler_state)
+        merged = results[0]
+        for other in results[1:]:
+            merged = _merge_states(merged, other)
+        self.visit_block(stmt.orelse, merged)
+        self.visit_block(stmt.finalbody, merged)
+        self._replace(state, merged)
+
+    def _replace(self, state: State, new: State) -> None:
+        state.env = new.env
+        state.types = new.types
+        state.fds = new.fds
+        state.staged = new.staged
+        state.committed = new.committed
+        state.returned = new.returned
+
+    def _bind_holes(self, target, state: State) -> None:
+        if isinstance(target, ast.Name):
+            state.env[target.id] = P.UNKNOWN
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._bind_holes(elt, state)
+        elif isinstance(target, ast.Starred):
+            self._bind_holes(target.value, state)
+
+    def _assign(self, target, value: tuple, state: State, value_type: str | None = None) -> None:
+        if isinstance(target, ast.Name):
+            if target.id in state.fds:
+                del state.fds[target.id]  # rebound: old fd escapes tracking
+            state.env[target.id] = value
+            if value_type is not None:
+                state.types[target.id] = value_type
+            else:
+                state.types.pop(target.id, None)
+        elif isinstance(target, ast.Attribute):
+            if isinstance(target.value, ast.Name) and target.value.id == "self":
+                state.env[f"self.{target.attr}"] = value
+                if value_type is not None:
+                    state.types[f"self.{target.attr}"] = value_type
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._assign(elt, P.UNKNOWN, state)
+
+    def _type_of(self, expr, state: State) -> str | None:
+        """The project class an expression constructs or aliases, if clear."""
+        if isinstance(expr, ast.Call):
+            func = expr.func
+            if isinstance(func, ast.Name) and self.index.classes.get(func.id) is not None:
+                return func.id
+            # self.yc.in_view(...) etc.: a resolvable method annotated by
+            # convention — returning `self` keeps the receiver's type.
+            return None
+        if isinstance(expr, ast.Name):
+            return state.types.get(expr.id)
+        if isinstance(expr, ast.Attribute) and isinstance(expr.value, ast.Name):
+            if expr.value.id == "self":
+                key = f"self.{expr.attr}"
+                if key in state.types:
+                    return state.types[key]
+                if self.decl is not None and self.decl.class_name is not None:
+                    _env, types = self.index.attr_env(self.decl.module, self.decl.class_name)
+                    return types.get(key)
+        return None
+
+    def _track_open(self, stmt, state: State) -> None:
+        """``fd = sc.open(...)`` starts fd-lifecycle tracking."""
+        value = stmt.value
+        if not isinstance(value, ast.Call) or syscall_method(value) != "open":
+            return
+        targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+        if len(targets) == 1 and isinstance(targets[0], ast.Name):
+            protected = any(targets[0].id in closes for closes in self._finally_closes)
+            state.fds[targets[0].id] = FdInfo(site=value, protected=protected)
+
+    def _exit(self, state: State, node, value_name: str | None) -> None:
+        """A normal exit: settle §3.4 obligations and open fds."""
+        self.exit_committed.append(state.committed)
+        for staging in state.staged.values():
+            if id(staging) not in self._uncommitted:
+                self._uncommitted.add(id(staging))
+                self.local_findings.append(("flow-no-commit", staging))
+        for name, fd in state.fds.items():
+            if not fd.protected and name != value_name:
+                self._leak(fd.site)
+
+    def _leak(self, site: ast.AST) -> None:
+        if id(site) not in self._leaked:
+            self._leaked.add(id(site))
+            self.local_findings.append(("fd-leak-on-exception", site))
+
+    # -- expressions -----------------------------------------------------------------
+
+    def eval(self, node, state: State) -> tuple:
+        """Abstract-evaluate ``node`` to a token string (never None)."""
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, str):
+                return P.tokens_from_literal(node.value)
+            return P.UNKNOWN
+        if isinstance(node, ast.JoinedStr):
+            parts = []
+            for piece in node.values:
+                if isinstance(piece, ast.Constant):
+                    parts.append(P.tokens_from_literal(str(piece.value)))
+                elif isinstance(piece, ast.FormattedValue):
+                    inner = self.eval(piece.value, state)
+                    if piece.format_spec is not None:
+                        self.eval(piece.format_spec, state)
+                        inner = P.UNKNOWN
+                    parts.append(inner)
+            return P.concat(*parts)
+        if isinstance(node, ast.Name):
+            if node.id in state.env:
+                return state.env[node.id]
+            if self.module is not None and node.id in self.module.global_env:
+                return self.module.global_env[node.id]
+            return P.UNKNOWN
+        if isinstance(node, ast.Attribute):
+            self.eval(node.value, state)
+            if isinstance(node.value, ast.Name) and node.value.id == "self":
+                key = f"self.{node.attr}"
+                if key in state.env:
+                    return state.env[key]
+                if self.decl is not None and self.decl.class_name is not None:
+                    env, _types = self.index.attr_env(self.decl.module, self.decl.class_name)
+                    if key in env:
+                        return env[key]
+            return P.UNKNOWN
+        if isinstance(node, ast.BinOp):
+            left = self.eval(node.left, state)
+            right = self.eval(node.right, state)
+            if isinstance(node.op, ast.Add):
+                return P.concat(left, right)
+            if isinstance(node.op, ast.Div):  # pathlib's Path / "seg"
+                return P.join([left, right])
+            if isinstance(node.op, ast.Mod) and isinstance(node.left, ast.Constant) and isinstance(
+                node.left.value, str
+            ):
+                return P.tokens_from_template(node.left.value)
+            return P.UNKNOWN
+        if isinstance(node, ast.BoolOp):
+            result = None
+            for value in node.values:
+                result = P.merge(result, self.eval(value, state))
+            return result if result is not None else P.UNKNOWN
+        if isinstance(node, ast.IfExp):
+            self.eval(node.test, state)
+            return P.merge(self.eval(node.body, state), self.eval(node.orelse, state))
+        if isinstance(node, ast.Call):
+            return self.eval_call(node, state)
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)):
+            comp_state = state  # comprehension sites still count
+            for gen in node.generators:
+                self.eval(gen.iter, comp_state)
+                self._bind_holes(gen.target, comp_state)
+                for cond in gen.ifs:
+                    self.eval(cond, comp_state)
+            if isinstance(node, ast.DictComp):
+                self.eval(node.key, comp_state)
+                self.eval(node.value, comp_state)
+            else:
+                self.eval(node.elt, comp_state)
+            return P.UNKNOWN
+        # Generic: recurse for site-recording, value unknown.
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self.eval(child, state)
+        return P.UNKNOWN
+
+    def eval_call(self, call: ast.Call, state: State) -> tuple:
+        func = call.func
+        # os.path.join(...) — join semantics
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "join"
+            and isinstance(func.value, ast.Attribute)
+            and func.value.attr == "path"
+            and isinstance(func.value.value, ast.Name)
+            and func.value.value.id == "os"
+        ):
+            return P.join([self.eval(a, state) for a in call.args])
+        # "<template>".format(...) — placeholders become holes
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "format"
+            and isinstance(func.value, ast.Constant)
+            and isinstance(func.value.value, str)
+        ):
+            for arg in call.args:
+                self.eval(arg, state)
+            for kw in call.keywords:
+                self.eval(kw.value, state)
+            return P.tokens_from_template(func.value.value)
+        # Path(x) / clean(x) are abstractly the identity
+        if isinstance(func, ast.Name) and func.id in ("Path", "clean", "str") and len(call.args) == 1:
+            inner = self.eval(call.args[0], state)
+            return inner if func.id != "str" else inner
+
+        arg_tokens = [self.eval(a, state) for a in call.args]
+        kw_tokens = {kw.arg: self.eval(kw.value, state) for kw in call.keywords if kw.arg}
+        for kw in call.keywords:
+            if kw.arg is None:
+                self.eval(kw.value, state)
+
+        method = syscall_method(call)
+        if method is not None and method in PATH_ARGS:
+            self._record_site(call, method, arg_tokens, state)
+            return P.UNKNOWN
+        if method == "close" and call.args and isinstance(call.args[0], ast.Name):
+            state.fds.pop(call.args[0].id, None)
+            return P.UNKNOWN
+
+        recv_type = None
+        if isinstance(func, ast.Attribute):
+            recv_type = self._type_of(func.value, state)
+        callee = self.index.resolve_call(call, self.decl, recv_type)
+        if callee is not None:
+            summary = self.index.summary(callee)
+            bindings = self._bind_args(callee, call, arg_tokens, kw_tokens)
+            self._apply_effect(call, callee, summary, state)
+            self._escape_fds(call, state)
+            return P.substitute(summary.ret, bindings)
+
+        self._escape_fds(call, state)
+        return P.UNKNOWN
+
+    def _record_site(self, call: ast.Call, method: str, arg_tokens: list, state: State) -> None:
+        paths = tuple(arg_tokens[i] for i in PATH_ARGS[method] if i < len(arg_tokens))
+        if not paths:
+            return
+        content = None
+        if method in _WRITE_METHODS and len(call.args) >= 2 and isinstance(call.args[1], ast.Constant):
+            content = call.args[1].value
+        self.sites.append(Site(node=call, method=method, paths=paths, content=content))
+        if method in _WRITE_METHODS:
+            role = self.index.judge(paths[0])
+            if role == "stage":
+                state.staged[id(call)] = call
+                self.ever_staged = True
+            elif role == "commit":
+                state.staged.clear()
+                state.committed = True
+
+    def _bind_args(self, callee: FuncDecl, call: ast.Call, arg_tokens, kw_tokens) -> dict:
+        bindings: dict[str, tuple] = {}
+        for param, tokens in zip(callee.params, arg_tokens):
+            bindings[param] = tokens
+        for name, tokens in kw_tokens.items():
+            if name in callee.params:
+                bindings[name] = tokens
+        return bindings
+
+    def _apply_effect(self, call: ast.Call, callee: FuncDecl, summary: Summary, state: State) -> None:
+        effect = summary.effect
+        if effect == ("always",):
+            state.staged.clear()
+            state.committed = True
+            return
+        if effect[0] == "cond":
+            value = self._arg_for(callee, call, effect[1])
+            if isinstance(value, ast.Constant) and value.value is False:
+                if summary.stages:
+                    state.staged[id(call)] = call
+                    self.ever_staged = True
+            else:
+                # True, a dynamic value, or the (True) default: the callee
+                # commits — and a dynamic flag errs toward silence.
+                state.staged.clear()
+                state.committed = True
+            return
+        if summary.stages:  # ("never",) and it writes spec files
+            state.staged[id(call)] = call
+            self.ever_staged = True
+
+    def _arg_for(self, callee: FuncDecl, call: ast.Call, param: str):
+        """The AST expression bound to ``param`` at this call, or its default."""
+        for kw in call.keywords:
+            if kw.arg == param:
+                return kw.value
+        try:
+            index = callee.params.index(param)
+        except ValueError:
+            return None
+        if index < len(call.args):
+            return call.args[index]
+        return callee.defaults.get(param)
+
+    def _escape_fds(self, call: ast.Call, state: State) -> None:
+        """Passing a tracked fd to an unrecognized call transfers ownership."""
+        method = syscall_method(call)
+        if method in FD_SAFE_METHODS:
+            return
+        for arg in call.args:
+            if isinstance(arg, ast.Name):
+                state.fds.pop(arg.id, None)
+        for kw in call.keywords:
+            if isinstance(kw.value, ast.Name):
+                state.fds.pop(kw.value.id, None)
+
+
+def _closed_fd_names(stmts) -> set[str]:
+    """fd variable names closed anywhere under ``stmts`` (a finally body)."""
+    names: set[str] = set()
+    for stmt in stmts:
+        for node in ast.walk(stmt):
+            if (
+                isinstance(node, ast.Call)
+                and syscall_method(node) == "close"
+                and node.args
+                and isinstance(node.args[0], ast.Name)
+            ):
+                names.add(node.args[0].id)
+    return names
+
+
+def _may_raise(stmt) -> bool:
+    """Conservatively: a statement containing a call or raise may raise."""
+    for node in ast.walk(stmt):
+        if isinstance(node, (ast.Call, ast.Raise)):
+            return True
+    return False
+
+
+__all__ = [
+    "FD_SAFE_METHODS",
+    "FuncDecl",
+    "FuncInterp",
+    "ModuleInfo",
+    "PATH_ARGS",
+    "ProjectIndex",
+    "Site",
+    "Summary",
+    "syscall_method",
+]

@@ -1,0 +1,217 @@
+"""The abstract string lattice yancpath tracks paths with.
+
+A path expression is abstracted into a **token string**: a sequence of
+``SEP`` (a ``/``), ``text`` (a known literal chunk), and ``hole`` (an
+unknown chunk — a parameter, an attribute we cannot resolve, the result
+of a call without a summary).  Token strings compose under concatenation
+exactly like the concrete strings they stand for, which is what makes
+f-strings, ``+``, ``os.path.join`` and helper-function summaries all
+fold into one representation.
+
+For matching against the namespace grammar a token string is *finalized*
+into a :class:`PathPattern` — a sequence of segment atoms where each
+atom is either a :class:`Seg` (literal parts interleaved with in-segment
+wildcards) or :data:`STAR` (an unknown run of zero or more whole
+segments).  The rules:
+
+* a hole glued to literal text (``f"pi_{seq}"``) stays *inside* its
+  segment — it is assumed not to contain a ``/``;
+* a hole standing alone at the *head* of the pattern
+  (``f"{self.root}/switches"``) becomes :data:`STAR` — it is a mount
+  prefix and nothing bounds how many segments it spans;
+* a hole standing alone between separators deeper in the pattern
+  (``f"{base}/flows/{name}"``'s ``name``) is a **single** unknown
+  segment — path holes in that position are object names, and keeping
+  them single-segment is what lets the grammar reject a neighbouring
+  typo instead of sliding the tail into some other subtree.  (A helper
+  summary whose hole is *substituted* with a multi-segment argument
+  regains the segments before finalization, so composition stays
+  exact.)
+
+The lattice is deliberately one-sided: widening only ever *loosens* a
+pattern (toward STAR), so every check downstream errs toward silence,
+never toward a false alarm.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+# -- tokens ---------------------------------------------------------------------------
+
+SEP = ("sep",)
+
+
+def text_token(value: str) -> tuple:
+    return ("text", value)
+
+
+def hole_token(name: str | None = None) -> tuple:
+    return ("hole", name)
+
+
+#: The completely-unknown string: a single anonymous hole.
+UNKNOWN: tuple = (hole_token(),)
+
+_FORMAT_HOLE = re.compile(r"\{[^{}]*\}|%[sdrfxo]")
+
+
+def tokens_from_literal(value: str) -> tuple:
+    """Tokenize a literal string, splitting on ``/``."""
+    out: list[tuple] = []
+    first = True
+    for chunk in value.split("/"):
+        if not first:
+            out.append(SEP)
+        first = False
+        if chunk:
+            out.append(text_token(chunk))
+    return tuple(out)
+
+
+def tokens_from_template(value: str) -> tuple:
+    """Tokenize a ``str.format``/``%`` template: placeholders become holes."""
+    out: list[tuple] = []
+    pos = 0
+    for match in _FORMAT_HOLE.finditer(value):
+        out += tokens_from_literal(value[pos : match.start()])
+        out.append(hole_token())
+        pos = match.end()
+    out += tokens_from_literal(value[pos:])
+    return tuple(out)
+
+
+def concat(*parts: Iterable[tuple]) -> tuple:
+    """Concatenate token strings (plain string concatenation semantics)."""
+    out: list[tuple] = []
+    for part in parts:
+        out.extend(part)
+    return tuple(out)
+
+
+def join(parts: list[tuple]) -> tuple:
+    """``os.path.join`` semantics: a later absolute part restarts the path."""
+    out: tuple = ()
+    for part in parts:
+        if part[:1] == (SEP,):
+            out = part
+        elif out:
+            out = concat(out, (SEP,), part)
+        else:
+            out = part
+    return out
+
+
+def substitute(tokens: tuple, bindings: dict[str, tuple]) -> tuple:
+    """Replace named holes with argument token strings (summary application)."""
+    out: list[tuple] = []
+    for token in tokens:
+        if token[0] == "hole" and token[1] is not None:
+            out.extend(bindings.get(token[1], (hole_token(),)))
+        else:
+            out.append(token)
+    return tuple(out)
+
+
+def merge(a: tuple | None, b: tuple | None) -> tuple:
+    """Join two abstract strings at a control-flow merge point."""
+    if a is None:
+        return b if b is not None else UNKNOWN
+    if b is None or a == b:
+        return a
+    return UNKNOWN
+
+
+# -- finalized patterns ----------------------------------------------------------------
+
+#: In-segment wildcard: an unknown chunk assumed not to contain ``/``.
+WILD = "\x00wild"
+
+#: Whole-segment wildcard atom: zero or more unknown segments.
+STAR = "\x00star"
+
+
+@dataclass(frozen=True)
+class Seg:
+    """One path segment: literal parts interleaved with :data:`WILD`."""
+
+    parts: tuple[str, ...]
+
+    @property
+    def literal(self) -> str | None:
+        """The exact name when the segment is fully literal, else None."""
+        if any(p is WILD for p in self.parts):
+            return None
+        return "".join(self.parts)
+
+    def matches_name(self, name: str) -> bool:
+        """Glob-match ``name`` against the segment (WILD = ``*``)."""
+        regex = "".join(".*" if p is WILD else re.escape(p) for p in self.parts)
+        return re.fullmatch(regex, name) is not None
+
+    def render(self) -> str:
+        return "".join("*" if p is WILD else p for p in self.parts)
+
+
+@dataclass(frozen=True)
+class PathPattern:
+    """A finalized path abstraction ready for grammar matching."""
+
+    anchored: bool
+    atoms: tuple  # of Seg | STAR
+
+    def render(self) -> str:
+        body = "/".join("**" if a is STAR else a.render() for a in self.atoms)
+        return ("/" if self.anchored else "") + body
+
+    @property
+    def literal_segments(self) -> tuple[str, ...]:
+        return tuple(a.literal for a in self.atoms if a is not STAR and a.literal is not None)
+
+
+def finalize(tokens: tuple) -> Optional[PathPattern]:
+    """Collapse a token string into a :class:`PathPattern`.
+
+    Returns None when the string cannot be a well-formed path for
+    matching purposes (contains ``..`` — the physical walk semantics are
+    out of scope for the lattice, so such paths are simply not judged).
+    """
+    anchored = tokens[:1] == (SEP,)
+    atoms: list = []
+    run: list = []  # parts of the segment being assembled
+
+    def flush() -> None:
+        if not run:
+            return
+        if len(run) == 1 and run[0] is WILD and not atoms and not anchored:
+            # A lone hole at the head is a mount prefix: any depth.
+            atoms.append(STAR)
+        else:
+            atoms.append(Seg(tuple(run)))
+        run.clear()
+
+    for token in tokens:
+        if token == SEP:
+            flush()
+        elif token[0] == "text":
+            run.append(token[1])
+        else:  # hole
+            if run and run[-1] is WILD:
+                continue
+            run.append(WILD)
+    flush()
+
+    cleaned: list = []
+    for atom in atoms:
+        if atom is not STAR:
+            lit = atom.literal
+            if lit == ".":
+                continue
+            if lit == "..":
+                return None
+        if atom is STAR and cleaned and cleaned[-1] is STAR:
+            continue
+        cleaned.append(atom)
+    return PathPattern(anchored=anchored, atoms=tuple(cleaned))
