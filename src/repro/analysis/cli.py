@@ -1,6 +1,6 @@
-"""The analysis command line: ``python -m repro.analysis [race|yancpath] [...]``.
+"""The analysis command line: ``python -m repro.analysis [race|yancpath|yancperf] [...]``.
 
-Three subcommands share one entry point:
+Four subcommands share one entry point:
 
 * ``python -m repro.analysis [paths...]`` — **yanclint**, the static
   checker (the historical default, no subcommand word needed);
@@ -9,7 +9,10 @@ Three subcommands share one entry point:
   the happens-before race detector and reports ordering findings;
 * ``python -m repro.analysis yancpath [paths...]`` — **yancpath**, the
   whole-program path & typestate analyzer (schema-derived namespace
-  grammar, §3.4 commit protocol, fd lifecycle).
+  grammar, §3.4 commit protocol, fd lifecycle);
+* ``python -m repro.analysis yancperf [paths...]`` — **yancperf**, the
+  interprocedural syscall-cost analyzer (amplification findings, the
+  ``--report`` cost ranking, and ``--calibrate`` against live meters).
 
 Exit-code discipline (:class:`ExitCode`, shared by every subcommand):
 
@@ -28,6 +31,7 @@ import runpy
 import sys
 from typing import Callable
 
+from repro.analysis import baselines
 from repro.analysis.core import all_rules
 from repro.analysis.runner import analyze_paths, exit_code, format_findings
 
@@ -67,15 +71,9 @@ def report_findings(
     else ``CLEAN`` — the usage/internal codes come from the caller and
     :func:`main` respectively.
     """
-    baseline_keys: set[tuple] = set()
-    if baseline:
-        with open(baseline, encoding="utf-8") as fh:
-            baseline_keys = {key(rec) for rec in json.load(fh)}
-    fresh = [rec for rec in records if key(rec) not in baseline_keys]
-    if out:
-        with open(out, "w", encoding="utf-8") as fh:
-            json.dump(records, fh, indent=2)
-            fh.write("\n")
+    baseline_keys = baselines.load_baseline(baseline, key)
+    fresh = baselines.split_fresh(records, baseline_keys, key)
+    baselines.write_records(out, records)
     if as_json:
         print(json.dumps(records, indent=2))
     else:
@@ -194,6 +192,75 @@ def yancpath_main(argv: list[str]) -> int:
     )
 
 
+def build_yancperf_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="yancperf",
+        description="Interprocedural syscall-cost analysis: per-function "
+        "cost polynomials (loop-depth multipliers, callee rollup) plus "
+        "syscall-amplification findings (syscall-in-loop, path-reresolve, "
+        "linear-table-scan, chatty-rpc, readdir-then-stat).",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src", "examples"], help="files or directories to analyze"
+    )
+    parser.add_argument("--json", action="store_true", help="emit findings as JSON")
+    parser.add_argument("--baseline", help="JSON findings file; only findings not in it fail the run")
+    parser.add_argument("--out", help="write the findings JSON to this file as well")
+    parser.add_argument(
+        "--report", action="store_true", help="rank functions by estimated syscalls per call"
+    )
+    parser.add_argument(
+        "--top", type=int, default=30, metavar="N", help="rows shown by --report (default 30)"
+    )
+    parser.add_argument(
+        "--calibrate",
+        action="store_true",
+        help="boot the quickstart topology and check static bounds against live meter counts",
+    )
+    return parser
+
+
+def yancperf_main(argv: list[str]) -> int:
+    """yancperf subcommand; returns the process exit code."""
+    args = build_yancperf_parser().parse_args(argv)
+    if args.report and args.calibrate:
+        return usage_error("yancperf", "--report and --calibrate are mutually exclusive")
+    if args.report:
+        from repro.analysis.yancperf.report import cost_report, render_report
+
+        rows = cost_report(list(args.paths))
+        if args.json:
+            print(json.dumps([row.to_json() for row in rows[: args.top]], indent=2))
+        else:
+            print(render_report(rows, top=args.top))
+        return ExitCode.CLEAN
+    if args.calibrate:
+        from repro.analysis.yancperf.calibrate import render_calibration, run_calibration
+
+        rows = run_calibration(list(args.paths))
+        if args.json:
+            print(json.dumps([row.to_json() for row in rows], indent=2))
+        else:
+            print(render_calibration(rows))
+        return ExitCode.CLEAN if all(row.ok for row in rows) else ExitCode.FINDINGS
+    from repro.analysis.yancperf.checker import analyze_yancperf
+
+    findings = analyze_yancperf(list(args.paths))
+    records = [f.__dict__ | {"severity": f.severity.label} for f in findings]
+    return report_findings(
+        "yancperf",
+        records,
+        as_json=args.json,
+        baseline=args.baseline,
+        out=args.out,
+        key=_yancpath_key,  # same (rule, path, line) identity as yancpath
+        render=lambda rec, marker: (
+            f"{rec['path']}:{rec['line']}:{rec['col']}: "
+            f"{rec['severity']} [{rec['rule']}]{marker} {rec['message']}"
+        ),
+    )
+
+
 def lint_main(argv: list[str] | None) -> int:
     """yanclint subcommand; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -227,6 +294,8 @@ def main(argv: list[str] | None = None) -> int:
             return race_main(argv[1:])
         if argv and argv[0] == "yancpath":
             return yancpath_main(argv[1:])
+        if argv and argv[0] == "yancperf":
+            return yancperf_main(argv[1:])
         return lint_main(argv)
     except SystemExit:
         raise  # argparse usage errors keep their exit code (2)
@@ -243,6 +312,11 @@ def race_entry() -> int:
 def yancpath_entry() -> int:
     """Console-script entry: ``yancpath [paths...]``."""
     return main(["yancpath", *sys.argv[1:]])
+
+
+def yancperf_entry() -> int:
+    """Console-script entry: ``yancperf [paths...]``."""
+    return main(["yancperf", *sys.argv[1:]])
 
 
 if __name__ == "__main__":

@@ -14,6 +14,10 @@ in-source comments:
 * ``# yanclint: scope=<app|driver|example|vfs|clock>`` declares the file's
   scope explicitly, overriding the path-derived default (used by test
   fixtures that live outside the real ``apps/``/``vfs/`` trees).
+
+Disable comments also accept the ``yancperf:`` prefix — rule ids are
+unique across the analysis tools, so both spellings address one shared
+suppression set and each tool only ever consults its own ids.
 """
 
 from __future__ import annotations
@@ -24,8 +28,8 @@ import re
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
-_DISABLE_RE = re.compile(r"#\s*yanclint:\s*disable=([\w,\-]+)")
-_DISABLE_FILE_RE = re.compile(r"#\s*yanclint:\s*disable-file=([\w,\-]+)")
+_DISABLE_RE = re.compile(r"#\s*yanc(?:lint|perf):\s*disable=([\w,\-]+)")
+_DISABLE_FILE_RE = re.compile(r"#\s*yanc(?:lint|perf):\s*disable-file=([\w,\-]+)")
 _SCOPE_RE = re.compile(r"#\s*yanclint:\s*scope=([\w\-]+)")
 
 #: Compound statements: their bodies are *other* statements' lines, so a

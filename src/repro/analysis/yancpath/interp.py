@@ -65,6 +65,7 @@ PATH_ARGS: dict[str, tuple[int, ...]] = {
     "chmod": (0,),
     "chown": (0,),
     "walk": (0,),
+    "scandir": (0,),
     "inotify_add_watch": (1,),
     "watch": (0,),
 }
@@ -350,6 +351,7 @@ class State:
     types: dict[str, str] = field(default_factory=dict)  # var -> class name
     fds: dict[str, FdInfo] = field(default_factory=dict)
     staged: dict[int, ast.AST] = field(default_factory=dict)  # id(node) -> node
+    listings: set[str] = field(default_factory=set)  # vars holding listdir() results
     committed: bool = False
     returned: bool = False
 
@@ -359,6 +361,7 @@ class State:
             types=dict(self.types),
             fds={k: FdInfo(v.site, v.protected) for k, v in self.fds.items()},
             staged=dict(self.staged),
+            listings=set(self.listings),
             committed=self.committed,
             returned=self.returned,
         )
@@ -386,12 +389,51 @@ def _merge_states(a: State, b: State) -> State:
         types=types,
         fds=fds,
         staged=staged,
+        listings=a.listings | b.listings,
         committed=a.committed and b.committed,
         returned=a.returned and b.returned,
     )
 
 
 # -- recorded syscall sites ------------------------------------------------------------
+
+#: Hole name bound to loop targets: a path containing one varies per iteration.
+LOOP_HOLE = "~loop"
+
+
+def loop_variant(tokens: tuple) -> bool:
+    """True when the token string depends on the enclosing loop's variable."""
+    return any(t[0] == "hole" and t[1] == LOOP_HOLE for t in tokens)
+
+
+@dataclass
+class LoopInfo:
+    """One loop (or comprehension generator) the interpreter descended into."""
+
+    node: ast.AST  # For | While | comprehension
+    depth: int  # nesting depth of the loop *body* (outermost = 1)
+    bounded: bool  # iterates a compile-time-constant collection
+    kind: str  # "listdir" | "scandir" | "walk" | "entries" | "while" | "for"
+
+
+@dataclass
+class CallInfo:
+    """One resolved project-internal call, for interprocedural cost rollup."""
+
+    node: ast.Call
+    callee: FuncDecl
+    depth: int
+    loop: Optional[LoopInfo]
+
+
+@dataclass
+class OpSite:
+    """Any recognized metered operation (path-based or fd-based) with context."""
+
+    node: ast.Call
+    method: str
+    depth: int
+    loop: Optional[LoopInfo]
 
 
 @dataclass
@@ -402,6 +444,24 @@ class Site:
     method: str
     paths: tuple[tuple, ...]  # token string per path argument
     content: object = None  # compile-time constant payload for write_text/bytes
+    depth: int = 0  # loop nesting depth at the site
+    loop: Optional[LoopInfo] = None  # innermost enclosing loop
+
+
+#: Calls whose first argument unwraps to the underlying iterable.
+_ITER_WRAPPERS = frozenset({"sorted", "list", "tuple", "set", "reversed", "enumerate", "iter"})
+
+
+def _unwrap_iter(expr):
+    """Peel ``sorted(...)``/``list(...)``/... down to the iterable expression."""
+    while (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Name)
+        and expr.func.id in _ITER_WRAPPERS
+        and expr.args
+    ):
+        expr = expr.args[0]
+    return expr
 
 
 _STMT_BUDGET = 20000
@@ -416,6 +476,11 @@ class FuncInterp:
         self.module = decl.module if decl is not None else module
         self.state = State()
         self.sites: list[Site] = []
+        self.op_sites: list[OpSite] = []  # every metered op, incl. fd-based
+        self.rpc_sites: list[OpSite] = []  # distfs channel.call round trips
+        self.calls: list[CallInfo] = []  # resolved project-internal calls
+        self.loops: list[LoopInfo] = []  # every loop descended into, in visit order
+        self._loops: list[LoopInfo] = []
         self.returns: list[tuple] = []
         self.exit_committed: list[bool] = []
         self.cond_commit: str | None = None
@@ -457,8 +522,11 @@ class FuncInterp:
         if isinstance(stmt, ast.Assign):
             value = self.eval(stmt.value, state)
             value_type = self._type_of(stmt.value, state)
+            listing = self._listing_origin(stmt.value, state)
             for target in stmt.targets:
                 self._assign(target, value, state, value_type)
+                if isinstance(target, ast.Name):
+                    (state.listings.add if listing else state.listings.discard)(target.id)
             self._track_open(stmt, state)
         elif isinstance(stmt, ast.AnnAssign):
             if stmt.value is not None:
@@ -485,16 +553,24 @@ class FuncInterp:
             self._visit_if(stmt, state)
         elif isinstance(stmt, (ast.For, ast.AsyncFor)):
             self.eval(stmt.iter, state)
+            info = self._loop_info(stmt, state)
             body_state = state.clone()
-            self._bind_holes(stmt.target, body_state)
+            self._bind_holes(stmt.target, body_state, loop=True)
+            self.loops.append(info)
+            self._loops.append(info)
             self.visit_block(stmt.body, body_state)
+            self._loops.pop()
             merged = _merge_states(state, body_state)
             self._replace(state, merged)
             self.visit_block(stmt.orelse, state)
         elif isinstance(stmt, ast.While):
             self.eval(stmt.test, state)
             body_state = state.clone()
+            info = LoopInfo(node=stmt, depth=len(self._loops) + 1, bounded=False, kind="while")
+            self.loops.append(info)
+            self._loops.append(info)
             self.visit_block(stmt.body, body_state)
+            self._loops.pop()
             merged = _merge_states(state, body_state)
             self._replace(state, merged)
             self.visit_block(stmt.orelse, state)
@@ -582,14 +658,63 @@ class FuncInterp:
         state.committed = new.committed
         state.returned = new.returned
 
-    def _bind_holes(self, target, state: State) -> None:
+    def _bind_holes(self, target, state: State, loop: bool = False) -> None:
+        # Loop targets get a *named* hole so downstream consumers (yancperf)
+        # can tell iteration-variant paths from loop-constant ones; for the
+        # grammar both finalize to the same wildcard.
+        tokens = (P.hole_token(LOOP_HOLE),) if loop else P.UNKNOWN
         if isinstance(target, ast.Name):
-            state.env[target.id] = P.UNKNOWN
+            state.env[target.id] = tokens
         elif isinstance(target, (ast.Tuple, ast.List)):
             for elt in target.elts:
-                self._bind_holes(elt, state)
+                self._bind_holes(elt, state, loop=loop)
         elif isinstance(target, ast.Starred):
-            self._bind_holes(target.value, state)
+            self._bind_holes(target.value, state, loop=loop)
+
+    def _loop_info(self, stmt, state: State) -> LoopInfo:
+        """Classify a For loop: what it iterates and whether it is bounded."""
+        bounded, kind = self._classify_iter(stmt.iter, state)
+        return LoopInfo(node=stmt, depth=len(self._loops) + 1, bounded=bounded, kind=kind)
+
+    def _comp_loop_info(self, node, gen, state: State) -> LoopInfo:
+        bounded, kind = self._classify_iter(gen.iter, state)
+        return LoopInfo(node=node, depth=len(self._loops) + 1, bounded=bounded, kind=kind)
+
+    def _classify_iter(self, iter_expr, state: State) -> tuple[bool, str]:
+        iterable = _unwrap_iter(iter_expr)
+        if isinstance(iterable, (ast.List, ast.Tuple, ast.Set, ast.Dict)):
+            return True, "for"
+        if isinstance(iterable, ast.Call):
+            func = iterable.func
+            if isinstance(func, ast.Name) and func.id == "range":
+                return all(isinstance(a, ast.Constant) for a in iterable.args), "for"
+            method = syscall_method(iterable)
+            if method in ("listdir", "scandir", "walk"):
+                return False, method
+            if isinstance(func, ast.Attribute) and func.attr.lstrip("_") == "entries":
+                return False, "entries"
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "values"
+                and isinstance(func.value, ast.Attribute)
+                and "entries" in func.value.attr
+            ):
+                return False, "entries"
+            return False, "for"
+        if isinstance(iterable, ast.Name) and iterable.id in state.listings:
+            return False, "listdir"
+        if isinstance(iterable, ast.Attribute) and "entries" in iterable.attr:
+            return False, "entries"
+        return False, "for"
+
+    def _listing_origin(self, expr, state: State) -> bool:
+        """Does ``expr`` evaluate to the result of a ``listdir()``?"""
+        inner = _unwrap_iter(expr)
+        if isinstance(inner, ast.Call):
+            return syscall_method(inner) == "listdir"
+        if isinstance(inner, ast.Name):
+            return inner.id in state.listings
+        return False
 
     def _assign(self, target, value: tuple, state: State, value_type: str | None = None) -> None:
         if isinstance(target, ast.Name):
@@ -718,8 +843,11 @@ class FuncInterp:
         if isinstance(node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)):
             comp_state = state  # comprehension sites still count
             for gen in node.generators:
-                self.eval(gen.iter, comp_state)
-                self._bind_holes(gen.target, comp_state)
+                self.eval(gen.iter, comp_state)  # evaluated at the outer depth
+                self._bind_holes(gen.target, comp_state, loop=True)
+                info = self._comp_loop_info(node, gen, comp_state)
+                self.loops.append(info)
+                self._loops.append(info)
                 for cond in gen.ifs:
                     self.eval(cond, comp_state)
             if isinstance(node, ast.DictComp):
@@ -727,6 +855,7 @@ class FuncInterp:
                 self.eval(node.value, comp_state)
             else:
                 self.eval(node.elt, comp_state)
+            del self._loops[len(self._loops) - len(node.generators) :]
             return P.UNKNOWN
         # Generic: recurse for site-recording, value unknown.
         for child in ast.iter_child_nodes(node):
@@ -763,6 +892,10 @@ class FuncInterp:
             inner = self.eval(call.args[0], state)
             return inner if func.id != "str" else inner
 
+        if isinstance(func, ast.Attribute):
+            # The receiver can hide a metered call: sc.read_text(p).strip().
+            self.eval(func.value, state)
+
         arg_tokens = [self.eval(a, state) for a in call.args]
         kw_tokens = {kw.arg: self.eval(kw.value, state) for kw in call.keywords if kw.arg}
         for kw in call.keywords:
@@ -770,18 +903,29 @@ class FuncInterp:
                 self.eval(kw.value, state)
 
         method = syscall_method(call)
+        if method is not None:
+            self.op_sites.append(
+                OpSite(node=call, method=method, depth=len(self._loops), loop=self._innermost())
+            )
         if method is not None and method in PATH_ARGS:
             self._record_site(call, method, arg_tokens, state)
             return P.UNKNOWN
         if method == "close" and call.args and isinstance(call.args[0], ast.Name):
             state.fds.pop(call.args[0].id, None)
             return P.UNKNOWN
+        if self._is_rpc(call):
+            self.rpc_sites.append(
+                OpSite(node=call, method="rpc", depth=len(self._loops), loop=self._innermost())
+            )
 
         recv_type = None
         if isinstance(func, ast.Attribute):
             recv_type = self._type_of(func.value, state)
         callee = self.index.resolve_call(call, self.decl, recv_type)
         if callee is not None:
+            self.calls.append(
+                CallInfo(node=call, callee=callee, depth=len(self._loops), loop=self._innermost())
+            )
             summary = self.index.summary(callee)
             bindings = self._bind_args(callee, call, arg_tokens, kw_tokens)
             self._apply_effect(call, callee, summary, state)
@@ -791,6 +935,20 @@ class FuncInterp:
         self._escape_fds(call, state)
         return P.UNKNOWN
 
+    def _innermost(self) -> Optional[LoopInfo]:
+        return self._loops[-1] if self._loops else None
+
+    @staticmethod
+    def _is_rpc(call: ast.Call) -> bool:
+        """``<...>.channel.call(...)`` — one distfs RPC round trip."""
+        func = call.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "call"):
+            return False
+        base = func.value
+        if isinstance(base, ast.Name):
+            return base.id == "channel"
+        return isinstance(base, ast.Attribute) and base.attr == "channel"
+
     def _record_site(self, call: ast.Call, method: str, arg_tokens: list, state: State) -> None:
         paths = tuple(arg_tokens[i] for i in PATH_ARGS[method] if i < len(arg_tokens))
         if not paths:
@@ -798,7 +956,16 @@ class FuncInterp:
         content = None
         if method in _WRITE_METHODS and len(call.args) >= 2 and isinstance(call.args[1], ast.Constant):
             content = call.args[1].value
-        self.sites.append(Site(node=call, method=method, paths=paths, content=content))
+        self.sites.append(
+            Site(
+                node=call,
+                method=method,
+                paths=paths,
+                content=content,
+                depth=len(self._loops),
+                loop=self._innermost(),
+            )
+        )
         if method in _WRITE_METHODS:
             role = self.index.judge(paths[0])
             if role == "stage":
@@ -890,12 +1057,17 @@ def _may_raise(stmt) -> bool:
 
 __all__ = [
     "FD_SAFE_METHODS",
+    "LOOP_HOLE",
+    "CallInfo",
     "FuncDecl",
     "FuncInterp",
+    "LoopInfo",
     "ModuleInfo",
+    "OpSite",
     "PATH_ARGS",
     "ProjectIndex",
     "Site",
     "Summary",
+    "loop_variant",
     "syscall_method",
 ]

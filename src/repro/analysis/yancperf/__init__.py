@@ -1,0 +1,25 @@
+"""yancperf: interprocedural syscall-cost analysis over the shared
+yancpath abstract interpreter.
+
+Three front doors:
+
+* :func:`analyze_yancperf` — the five amplification finding kinds
+  (``syscall-in-loop``, ``path-reresolve``, ``linear-table-scan``,
+  ``chatty-rpc``, ``readdir-then-stat``);
+* :func:`~repro.analysis.yancperf.report.cost_report` — the ranked
+  per-function cost table;
+* :func:`~repro.analysis.yancperf.calibrate.run_calibration` — static
+  bound vs. live :class:`~repro.perf.meter.SyscallMeter` counts.
+"""
+
+from repro.analysis.yancperf.checker import KINDS, STORM_THRESHOLD, analyze_yancperf
+from repro.analysis.yancperf.model import CostExpr, CostIndex, WEIGHTS
+
+__all__ = [
+    "KINDS",
+    "STORM_THRESHOLD",
+    "WEIGHTS",
+    "CostExpr",
+    "CostIndex",
+    "analyze_yancperf",
+]

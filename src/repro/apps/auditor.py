@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from repro.vfs.errors import FsError
+from repro.vfs.errors import FileNotFound, FsError
 from repro.vfs.syscalls import Syscalls
 from repro.yancfs.client import YancClient
 
@@ -97,7 +97,10 @@ def run_audit(sc: Syscalls, *, root: str = "/net", report_path: str = "", clock:
             if not sc.exists(target):
                 report.findings.append(f"{switch}/{port_name}: dangling peer symlink -> {target}")
                 continue
-            back = sc.readlink(f"{target}/peer") if sc.exists(f"{target}/peer") else None
+            try:
+                back = sc.readlink(f"{target}/peer")  # EAFP: one resolution
+            except FileNotFound:
+                back = None
             if back != yc.port_path(switch, port_name):
                 report.findings.append(f"{switch}/{port_name}: asymmetric peer link")
     if report_path:

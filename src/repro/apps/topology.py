@@ -125,9 +125,8 @@ class TopologyDaemon(PacketInApp):
                 continue
             del self.links[src]
             try:
-                peer_path = f"{self.yc.port_path(src[0], src[1])}/peer"
-                if self.sc.exists(peer_path):
-                    self.sc.unlink(peer_path)
+                # EAFP: unlink resolves once; a missing link is already pruned.
+                self.sc.unlink(f"{self.yc.port_path(src[0], src[1])}/peer")
             except FsError:
                 continue
 

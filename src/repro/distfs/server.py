@@ -59,9 +59,8 @@ class FileServer(Process):
         """
         path = self._resolve(rpath)
         entries = []
-        for name in self.sc.listdir(path):
+        for name, st in self.sc.scandir(path):
             child = f"{path}/{name}"
-            st = self.sc.lstat(child)
             target = self.sc.readlink(child) if st.is_symlink else ""
             try:
                 consistency = self.sc.getxattr(child, "user.consistency").decode()

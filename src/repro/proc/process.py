@@ -268,6 +268,7 @@ class Process:
         self._wake_pending = False
         if not self.running or self._ep is None:
             return
+        self._count("proc.dispatches")
         before = self._syscalls()
         try:
             for source in self.sc.epoll_wait(self._ep):

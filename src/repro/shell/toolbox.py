@@ -69,21 +69,25 @@ class Shell:
         blocks = []
         for path in paths:
             st = self.sc.stat(path)
-            if st.is_dir:
-                names = self.sc.listdir(path)
-            else:
-                names = [path.rstrip("/").rsplit("/", 1)[-1]]
-                path = path.rsplit("/", 1)[0] or "/"
             if not long_format:
+                if st.is_dir:
+                    names = self.sc.listdir(path)
+                else:
+                    names = [path.rstrip("/").rsplit("/", 1)[-1]]
                 blocks.append("\n".join(sorted(names)))
                 continue
+            if st.is_dir:
+                entries = self.sc.scandir(path)
+            else:
+                name = path.rstrip("/").rsplit("/", 1)[-1]
+                entries = [(name, self.sc.lstat(path))]
+                path = path.rsplit("/", 1)[0] or "/"
             lines = []
-            for entry in sorted(names):
-                entry_path = f"{path.rstrip('/')}/{entry}"
-                entry_stat = self.sc.lstat(entry_path)
+            for entry, entry_stat in sorted(entries, key=lambda e: e[0]):
                 suffix = ""
                 if entry_stat.is_symlink:
-                    suffix = f" -> {self.sc.readlink(entry_path)}"
+                    target = self.sc.readlink(f"{path.rstrip('/')}/{entry}")
+                    suffix = f" -> {target}"
                 lines.append(
                     f"{format_mode(entry_stat.ftype, entry_stat.mode)} "
                     f"{entry_stat.nlink:>2} {entry_stat.uid:>4} {entry_stat.gid:>4} "
@@ -191,13 +195,23 @@ class Shell:
         return "\n".join(results)
 
     def _find_walk(self, path: str):
+        # Breadth-first like walk(), but one scandir() per directory gives
+        # every child's ftype without the per-file lstat() storm.
         yield path, self.sc.stat(path).ftype
-        for dirpath, dirnames, filenames in self.sc.walk(path):
-            for name in dirnames:
-                yield f"{dirpath}/{name}", FileType.DIRECTORY
-            for name in filenames:
-                child = f"{dirpath}/{name}"
-                yield child, self.sc.lstat(child).ftype
+        queue = [path]
+        while queue:
+            dirpath = queue.pop(0)
+            entries = self.sc.scandir(dirpath)
+            subdirs = []
+            for name, stat in entries:
+                if stat.ftype is FileType.DIRECTORY:
+                    child = f"{dirpath.rstrip('/')}/{name}"
+                    subdirs.append(child)
+                    yield child, FileType.DIRECTORY
+            for name, stat in entries:
+                if stat.ftype is not FileType.DIRECTORY:
+                    yield f"{dirpath.rstrip('/')}/{name}", stat.ftype
+            queue.extend(subdirs)
 
     def cmd_tree(self, args: list[str]) -> str:
         """tree [path] [-L depth] — render like paper figure 2."""
@@ -220,14 +234,13 @@ class Shell:
         if depth_limit is not None and depth > depth_limit:
             return
         try:
-            names = sorted(self.sc.listdir(path))
+            entries = sorted(self.sc.scandir(path), key=lambda e: e[0])
         except FsError:
             return
-        for position, name in enumerate(names):
-            last = position == len(names) - 1
+        for position, (name, stat) in enumerate(entries):
+            last = position == len(entries) - 1
             connector = "└── " if last else "├── "
             child = f"{path.rstrip('/')}/{name}"
-            stat = self.sc.lstat(child)
             label = name
             if stat.is_symlink:
                 label += f" -> {self.sc.readlink(child)}"
@@ -263,9 +276,9 @@ class Shell:
         return ""
 
     def _rm_tree(self, path: str) -> None:
-        for name in list(self.sc.listdir(path)):
+        for name, stat in self.sc.scandir(path):
             child = f"{path.rstrip('/')}/{name}"
-            if self.sc.lstat(child).is_dir:
+            if stat.is_dir:
                 self._rm_tree(child)
             else:
                 self.sc.unlink(child)

@@ -298,6 +298,15 @@ class Syscalls:
         self.meter.enter("getdents")
         return self.vfs.readdir(self.ns, self.cred, self._abspath(path))
 
+    def scandir(self, path: str) -> list[tuple[str, Stat]]:
+        """Batched getdents(2)+statx: entry names with lstat-style metadata.
+
+        The §8.1 batching remedy for readdir-then-stat storms: one metered
+        call replaces ``listdir`` plus an ``lstat`` per entry.
+        """
+        self.meter.enter("scandir")
+        return self.vfs.scandir(self.ns, self.cred, self._abspath(path))
+
     def truncate(self, path: str, size: int) -> None:
         """truncate(2)."""
         self.meter.enter("truncate")

@@ -496,6 +496,21 @@ class VirtualFileSystem:
         self.check_access(node, cred, MAY_READ, path)
         return node.names()
 
+    def scandir(self, ns: MountNamespace, cred: Credentials, path: str) -> list[tuple[str, Stat]]:
+        """readdir + per-entry lstat metadata, resolving the directory once.
+
+        Entries that are mountpoints report the mounted root's stat (as
+        ``walk`` does); symlinks report their own stat (lstat semantics).
+        """
+        node = require_dir(self.resolve(ns, cred, path), path)
+        self.check_access(node, cred, MAY_READ, path)
+        out: list[tuple[str, Stat]] = []
+        for name, child in node.children():
+            mount = ns.mount_at(child)
+            target = mount.root if mount is not None else child
+            out.append((name, target.stat()))
+        return out
+
     # -- file operations ---------------------------------------------------------
 
     def open(

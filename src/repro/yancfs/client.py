@@ -229,8 +229,10 @@ class YancClient:
     def set_peer(self, switch: str, port: int | str, peer_switch: str, peer_port: int | str) -> None:
         """Create/replace the topology symlink ``peer`` (§3.3)."""
         link = f"{self.port_path(switch, port)}/peer"
-        if self.sc.exists(link):
-            self.sc.unlink(link)
+        try:
+            self.sc.unlink(link)  # EAFP: one resolution, no exists() pre-flight
+        except FileNotFound:
+            pass
         self.sc.symlink(self.port_path(peer_switch, peer_port), link)
 
     def peer_of(self, switch: str, port: int | str) -> str | None:

@@ -1,0 +1,36 @@
+# yanclint: scope=app
+"""Seeded syscall-amplification defects: one per yancperf finding kind."""
+
+
+class HotPathApp:
+    def __init__(self, sc, channel, table):
+        self.sc = sc
+        self.channel = channel
+        self.table = table
+
+    def stat_storm(self, path):
+        out = []
+        for name in self.sc.listdir(path):
+            st = self.sc.lstat(f"{path}/{name}")  # bad: readdir-then-stat
+            out.append((name, st))
+        return out
+
+    def chatty_sync(self, items):
+        for item in items:
+            self.channel.call("put", item)  # bad: chatty-rpc
+
+    def lookup(self, key):
+        for entry in self.table.entries():  # bad: linear-table-scan
+            if entry.key == key:
+                return entry
+        return None
+
+    def relink_all(self, paths):
+        for path in paths:
+            if self.sc.exists(f"{path}/peer"):
+                self.sc.unlink(f"{path}/peer")  # bad: path-reresolve
+            self.sc.symlink("/net/switches/sw1/ports/port_1", f"{path}/peer")
+
+    def push_all(self, flows):
+        for flow in flows:  # bad: syscall-in-loop
+            self.sc.write_text(f"/tmp/staging/{flow}/priority", "1")

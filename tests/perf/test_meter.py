@@ -1,0 +1,221 @@
+"""SyscallMeter semantics, pause nesting, and the measured §8.1 remedies.
+
+The "before/after" tests at the bottom pin the syscall savings of the
+yancperf-guided fixes (scandir batching in the shell toolbox, EAFP peer
+relinking) with live :class:`~repro.perf.meter.SyscallMeter` counts, so a
+regression back to the storm shape fails loudly.
+"""
+
+import pytest
+
+from repro import Simulator, YancController, build_linear
+from repro.perf import CostModel, PerfCounters, SyscallMeter
+from repro.proc import Process, ProcessTable
+from repro.shell import Shell
+from repro.vfs.notify import EventMask
+from repro.vfs.syscalls import Syscalls
+from repro.vfs.vfs import VirtualFileSystem
+from repro.yancfs.client import YancClient
+
+
+# -- SyscallMeter ------------------------------------------------------------
+
+
+def test_enter_counts_name_total_and_ctxsw():
+    meter = SyscallMeter()
+    meter.enter("stat")
+    meter.enter("stat")
+    meter.enter("open")
+    assert meter.counters.get("syscall.stat") == 2
+    assert meter.counters.get("syscall.open") == 1
+    assert meter.syscalls == 3
+    assert meter.context_switches == 3 * meter.model.ctxsw_per_syscall
+
+
+def test_enter_bills_payload_bytes():
+    meter = SyscallMeter()
+    meter.enter("read", nbytes=100)
+    meter.enter("read")  # no payload, no bytes billed
+    assert meter.counters.get("bytes.copied") == 100
+
+
+def test_shared_memory_model_bills_no_context_switches():
+    meter = SyscallMeter(model=CostModel(name="shm", ctxsw_per_syscall=0))
+    meter.enter("read")
+    assert meter.syscalls == 1
+    assert meter.context_switches == 0
+
+
+def test_pause_suspends_metering():
+    meter = SyscallMeter()
+    meter.enter("stat")
+    with meter.pause():
+        meter.enter("stat")
+        meter.enter("open")
+    meter.enter("stat")
+    assert meter.syscalls == 2
+    assert meter.counters.get("syscall.open") == 0
+
+
+def test_pause_nests_and_resumes_only_at_outer_exit():
+    meter = SyscallMeter()
+    with meter.pause():
+        with meter.pause():
+            meter.enter("stat")
+        meter.enter("stat")  # inner exited, outer still active
+    meter.enter("stat")
+    assert meter.syscalls == 1
+
+
+def test_reset_zeroes_everything():
+    meter = SyscallMeter()
+    meter.enter("stat", nbytes=10)
+    meter.reset()
+    assert meter.syscalls == 0
+    assert meter.counters.names() == []
+
+
+# -- the facade bills one enter() per syscall --------------------------------
+
+
+def test_facade_bills_one_syscall_per_call(sc: Syscalls):
+    sc.mkdir("/d")
+    assert sc.meter.counters.get("syscall.mkdir") == 1
+    before = sc.meter.syscalls
+    sc.write_text("/d/f", "x")  # open + write + close
+    assert sc.meter.syscalls - before == 3
+    before = sc.meter.syscalls
+    sc.scandir("/d")
+    assert sc.meter.syscalls - before == 1
+    assert sc.meter.counters.get("syscall.scandir") == 1
+
+
+def test_scandir_replaces_listdir_plus_lstat(sc: Syscalls):
+    sc.mkdir("/d")
+    for name in "abcd":
+        sc.write_text(f"/d/{name}", name)
+
+    before = sc.meter.syscalls
+    names = sc.listdir("/d")
+    stats = {name: sc.lstat(f"/d/{name}") for name in names}
+    storm = sc.meter.syscalls - before
+
+    before = sc.meter.syscalls
+    batched = dict(sc.scandir("/d"))
+    assert sc.meter.syscalls - before == 1
+    assert storm == 1 + len(names)
+
+    assert set(batched) == set(stats)
+    for name, st in stats.items():
+        assert batched[name].ino == st.ino
+        assert batched[name].ftype is st.ftype
+
+
+# -- dcache counters publish as deltas ---------------------------------------
+
+
+def test_dcache_publish_reports_hits_as_deltas(sc: Syscalls):
+    sc.makedirs("/net/switches/sw1")
+    sc.stat("/net/switches/sw1")
+    sc.stat("/net/switches/sw1")  # second walk should hit the cache
+
+    counters = PerfCounters()
+    sc.ns.dcache.publish(counters)
+    hits = counters.get("dcache.hits") + counters.get("dcache.path_hits")
+    assert hits > 0
+
+    # No new activity: a second publish adds nothing (delta, not absolute).
+    sc.ns.dcache.publish(counters)
+    assert counters.get("dcache.hits") + counters.get("dcache.path_hits") == hits
+
+
+# -- the epoll-dispatch counter ----------------------------------------------
+
+
+class _Recorder(Process):
+    proc_name = "recorder"
+
+    def __init__(self, proc, sim, path):
+        super().__init__(proc, sim)
+        self.seen = []
+
+    def on_start(self):
+        self.watch("/spool", EventMask.IN_CREATE, ("dir",))
+
+    def on_event(self, ctx, event):
+        self.seen.append(event.name)
+
+
+def test_dispatch_counter_counts_epoll_wakeups():
+    sim = Simulator()
+    vfs = VirtualFileSystem(clock=lambda: sim.now)
+    sc = Syscalls(vfs)
+    table = ProcessTable(sc, sim)
+    sc.mkdir("/spool")
+    app = _Recorder(table.spawn(), sim, "/spool").start()
+
+    assert table.counters.get("proc.dispatches") == 0
+    sc.write_bytes("/spool/one", b"x")
+    sim.run()
+    assert app.seen == ["one"]
+    dispatches = table.counters.get("proc.dispatches")
+    assert dispatches >= 1
+
+    sc.write_bytes("/spool/two", b"x")
+    sim.run()
+    assert table.counters.get("proc.dispatches") > dispatches
+
+
+# -- before/after: the yancperf-guided fixes, measured -----------------------
+
+
+def test_ls_long_syscalls_no_longer_scale_with_entries(sc: Syscalls):
+    sc.mkdir("/d")
+    entries = 6
+    for index in range(entries):
+        sc.write_text(f"/d/f{index}", "x")
+    shell = Shell(sc)
+
+    before = sc.meter.syscalls
+    out = shell.run("ls -l /d")
+    used = sc.meter.syscalls - before
+
+    assert len(out.splitlines()) == entries
+    # Fixed shape: stat(dir) + one scandir.  The old readdir-then-stat
+    # storm paid stat + listdir + one lstat per entry.
+    assert used == 2
+    assert used < 2 + entries
+
+
+def test_rm_recursive_drops_the_per_entry_lstat(sc: Syscalls):
+    sc.mkdir("/d")
+    entries = 5
+    for index in range(entries):
+        sc.write_text(f"/d/f{index}", "x")
+    shell = Shell(sc)
+
+    before = sc.meter.syscalls
+    shell.run("rm -r /d")
+    used = sc.meter.syscalls - before
+
+    assert not sc.exists("/d")
+    # lstat(root) + scandir + N unlink + rmdir; the old shape added one
+    # lstat per entry on top (2*N + 3 total).
+    assert used == entries + 3
+    assert used < 2 * entries + 3
+
+
+def test_set_peer_relinks_in_two_syscalls():
+    ctl = YancController(build_linear(2, hosts_per_switch=1)).start()
+    yc = YancClient(ctl.host.root_sc.spawn(meter=SyscallMeter()))
+    meter = yc.sc.meter
+
+    before = meter.syscalls
+    yc.set_peer("sw1", 2, "sw2", 1)  # the link exists: unlink + symlink
+    assert meter.syscalls - before == 2
+
+    yc.sc.unlink(f"{yc.port_path('sw1', 2)}/peer")
+    before = meter.syscalls
+    yc.set_peer("sw1", 2, "sw2", 1)  # absent: failed unlink + symlink
+    assert meter.syscalls - before == 2
+    assert yc.peer_of("sw1", 2) == yc.port_path("sw2", 1)
