@@ -4,8 +4,10 @@ Paper design: "Our current design concurrently feeds packet-in messages to
 all applications interested in such events", each in its own buffer.
 
 Reproduced shape: delivering one packet-in to N subscribed applications
-costs O(N) driver-side file writes; each application sees exactly its own
-copy; unsubscribed applications see nothing.
+is O(N) driver-side file *operations*, but the driver preps them all on
+its submission ring and crosses the kernel a constant number of times —
+so driver syscalls stay flat as subscribers grow; each application sees
+exactly its own copy; unsubscribed applications see nothing.
 """
 
 from conftest import print_table
@@ -25,7 +27,7 @@ def _controller_with_apps(n_apps: int):
     return ctl, yc
 
 
-def test_fanout_scales_linearly_in_subscribers(benchmark):
+def test_fanout_syscalls_stay_flat_in_subscribers(benchmark):
     rows = []
     per_app_events = 5
     for n_apps in APP_COUNTS:
@@ -45,8 +47,9 @@ def test_fanout_scales_linearly_in_subscribers(benchmark):
         ["apps", "events", "delivered", "driver syscalls"],
         rows,
     )
-    # driver cost grows with subscriber count (roughly linearly)
-    assert rows[-1][3] > rows[0][3] * (APP_COUNTS[-1] / APP_COUNTS[0]) * 0.5
+    # The ring amortizes the fan-out: 8x the subscribers may cost at most a
+    # constant factor more kernel crossings, never the unbatched 8x.
+    assert rows[-1][3] <= rows[0][3] * 2
     # time one fanout end to end (event write + read back) for 4 apps
     ctl, yc = _controller_with_apps(4)
     seq = iter(range(10**6))

@@ -123,5 +123,81 @@ class ShadowBuiltinRule(Rule):
                 yield from self._check_target(src, elt)
 
 
+class PrivatePokeRule(Rule):
+    id = "private-poke"
+    severity = Severity.WARNING
+    description = "writing a private attribute of another module's class bypasses its invariants"
+
+    def check(self, src: SourceFile) -> Iterator[Finding]:
+        # `attr._last_valid = data` on an object constructed from an
+        # imported class couples the caller to the class's internals and
+        # skips whatever bookkeeping its mutators maintain (the bug class
+        # behind LibYanc poking AttributeFile's validation cache).  Only
+        # locals whose construction from an imported class is visible in
+        # the same scope are flagged — `self._x` and same-module pokes
+        # stay legal.
+        imported: dict[str, str] = {}
+        for node in ast.walk(src.tree):
+            if isinstance(node, ast.ImportFrom) and node.module:
+                for alias in node.names:
+                    imported[alias.asname or alias.name] = node.module
+        if not imported:
+            return
+        scopes: list = [src.tree]
+        scopes.extend(
+            n for n in ast.walk(src.tree) if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+        )
+        for scope in scopes:
+            yield from self._check_scope(src, scope, imported)
+
+    def _check_scope(self, src: SourceFile, scope, imported: dict[str, str]) -> Iterator[Finding]:
+        typed: dict[str, str] = {}
+        for stmt in self._statements(scope.body):
+            targets: list[ast.expr] = []
+            if isinstance(stmt, ast.Assign):
+                targets = list(stmt.targets)
+            elif isinstance(stmt, (ast.AugAssign, ast.AnnAssign)):
+                targets = [stmt.target]
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id in typed
+                    and target.attr.startswith("_")
+                    and not target.attr.startswith("__")
+                ):
+                    cls = typed[target.value.id]
+                    yield self.finding(
+                        src,
+                        target,
+                        f"direct write to {cls}.{target.attr} from outside {imported[cls]}; add a public mutator",
+                    )
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1 and isinstance(stmt.targets[0], ast.Name):
+                name = stmt.targets[0].id
+                value = stmt.value
+                if (
+                    isinstance(value, ast.Call)
+                    and isinstance(value.func, ast.Name)
+                    and value.func.id in imported
+                    and value.func.id[:1].isupper()  # constructor, not a factory function
+                ):
+                    typed[name] = value.func.id
+                else:
+                    typed.pop(name, None)  # rebound to something else: stop tracking
+
+    @classmethod
+    def _statements(cls, body: list) -> Iterator[ast.stmt]:
+        """Statements of one scope in source order, nested defs excluded."""
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue
+            yield stmt
+            for field_name in ("body", "orelse", "finalbody"):
+                yield from cls._statements(getattr(stmt, field_name, None) or [])
+            for handler in getattr(stmt, "handlers", None) or []:
+                yield from cls._statements(handler.body)
+
+
 register(MutableDefaultRule())
 register(ShadowBuiltinRule())
+register(PrivatePokeRule())

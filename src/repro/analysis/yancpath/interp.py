@@ -77,13 +77,26 @@ FD_SAFE_METHODS = frozenset(
 
 _WRITE_METHODS = frozenset({"write_text", "write_bytes"})
 
+#: The one :class:`~repro.vfs.uring.IoUring` method that is a kernel
+#: crossing.  ``prep``/``prep_write_file``/``completions`` touch only the
+#: shared-memory ring, so only ``submit`` registers as a syscall site —
+#: which is exactly what makes batched loops legible to yancperf: the
+#: storm collapses to one recognized op per flush.
+URING_METHODS = frozenset({"submit"})
+
+#: Receiver spellings treated as a ring handle (mirrors the ``sc`` /
+#: ``.sc`` convention for Syscalls receivers).
+_URING_RECEIVERS = ("ring", "uring", "_uring")
+
 
 def syscall_method(call: ast.Call) -> str | None:
     """The syscall name when ``call``'s receiver looks like a Syscalls.
 
     Recognized receivers: a bare ``sc``/``syscalls`` name, any attribute
-    spelled ``.sc`` / ``.root_sc`` (``self.sc``, ``host.root_sc``), and
-    ``self`` itself for ``watch`` only (the Process run-loop helper).
+    spelled ``.sc`` / ``.root_sc`` (``self.sc``, ``host.root_sc``), ``self``
+    itself for ``watch`` only (the Process run-loop helper), and — for the
+    :data:`URING_METHODS` crossing only — a ``ring``/``uring`` name or
+    ``.ring``/``.uring``/``._uring`` attribute (the §8.1 batch ring).
     """
     func = call.func
     if not isinstance(func, ast.Attribute):
@@ -93,10 +106,15 @@ def syscall_method(call: ast.Call) -> str | None:
     if isinstance(base, ast.Name):
         if base.id in ("sc", "syscalls"):
             return method
+        if base.id in _URING_RECEIVERS and method in URING_METHODS:
+            return method
         if base.id == "self" and method == "watch":
             return method
-    elif isinstance(base, ast.Attribute) and base.attr in ("sc", "root_sc"):
-        return method
+    elif isinstance(base, ast.Attribute):
+        if base.attr in ("sc", "root_sc"):
+            return method
+        if base.attr in _URING_RECEIVERS and method in URING_METHODS:
+            return method
     return None
 
 
@@ -1068,6 +1086,7 @@ __all__ = [
     "ProjectIndex",
     "Site",
     "Summary",
+    "URING_METHODS",
     "loop_variant",
     "syscall_method",
 ]

@@ -82,6 +82,10 @@ WEIGHTS: dict[str, int] = {
     "watch": 1,
     # one getdents per directory *visited* — billed per iteration (see below)
     "walk": 1,
+    # batched submission (§8.1): setting up a ring and flushing it are one
+    # crossing each, no matter how many entries the flush drains
+    "io_uring_setup": 1,
+    "submit": 1,
 }
 
 #: Methods that resolve a path on every call (the dcache round trip a held
@@ -106,6 +110,10 @@ PATH_RESOLVING: frozenset = frozenset(
         "epoll_create",
         "epoll_ctl",
         "epoll_wait",
+        # ring crossings amortize path resolution — batching is the remedy
+        # for a path storm, not an instance of one
+        "io_uring_setup",
+        "submit",
     }
 )
 

@@ -9,6 +9,13 @@ the same bytes), so the handoff cost is O(1) regardless of payload size.
 For contrast, :meth:`ShmRing.put_copy` moves the same data the way the
 file path would — through a byte copy — and bills ``bytes.copied``; the E2
 benchmark shows the two curves diverge linearly in payload size.
+
+A ring is *pollable* (the ``readable()`` / ``poll_register`` /
+``poll_unregister`` protocol of :mod:`repro.vfs.poll`): a consumer
+process registers the ring in its :class:`~repro.vfs.poll.Epoll` set and
+is woken on the empty → non-empty edge, exactly as it would be for an
+inotify descriptor — so shared-memory delivery plugs into the ordinary
+process run loop instead of requiring a second wait primitive.
 """
 
 from __future__ import annotations
@@ -29,9 +36,27 @@ class ShmRing:
         self._tail = 0  # next slot to write
         self._size = 0
         self.dropped = 0
+        #: Epoll instances watching this ring (see repro.vfs.poll).
+        self._pollers: list = []
 
     def __len__(self) -> int:
         return self._size
+
+    # -- readiness (the pollable protocol, see repro.vfs.poll) ---------------
+
+    def readable(self) -> bool:
+        """True when buffers are waiting (the pollable protocol)."""
+        return self._size > 0
+
+    def poll_register(self, poller) -> None:
+        """An :class:`~repro.vfs.poll.Epoll` started watching this ring."""
+        if poller not in self._pollers:
+            self._pollers.append(poller)
+
+    def poll_unregister(self, poller) -> None:
+        """An :class:`~repro.vfs.poll.Epoll` stopped watching this ring."""
+        if poller in self._pollers:
+            self._pollers.remove(poller)
 
     @property
     def full(self) -> bool:
@@ -46,10 +71,15 @@ class ShmRing:
         self.counters.add("shm.put")
         if self._size == self.capacity:
             self.dropped += 1
+            self.counters.add("shm.dropped")
             return False
+        was_empty = self._size == 0
         self._slots[self._tail] = data if isinstance(data, memoryview) else memoryview(data)
         self._tail = (self._tail + 1) % self.capacity
         self._size += 1
+        if was_empty:
+            for poller in list(self._pollers):
+                poller.notify_readable(self)
         return True
 
     def put_copy(self, data: bytes) -> bool:

@@ -37,6 +37,21 @@ class SyscallMeter:
         if nbytes:
             self.counters.add("bytes.copied", nbytes)
 
+    def batch_op(self, name: str, nbytes: int = 0) -> None:
+        """Record one ring-submitted operation (see :mod:`repro.vfs.uring`).
+
+        A batched operation crosses no protection boundary of its own —
+        the batch's single ``io_uring_enter`` already paid the syscall and
+        context switches — so this bills only the per-op bookkeeping
+        (``uring.sqe``, ``uring.<name>``) and the payload bytes it moved.
+        """
+        if self._paused:
+            return
+        self.counters.add("uring.sqe")
+        self.counters.add(f"uring.{name}")
+        if nbytes:
+            self.counters.add("bytes.copied", nbytes)
+
     def pause(self) -> "_MeterPause":
         """Return a context manager that suspends metering while active."""
         return _MeterPause(self)

@@ -58,6 +58,7 @@ from repro.vfs.syscalls import (
     O_WRONLY,
     Syscalls,
 )
+from repro.vfs.uring import LINK_FD, Cqe, IoUring, Sqe
 from repro.vfs.vfs import FileHandle, VirtualFileSystem
 
 __all__ = [
@@ -117,6 +118,10 @@ __all__ = [
     "O_TRUNC",
     "O_WRONLY",
     "Syscalls",
+    "LINK_FD",
+    "Cqe",
+    "IoUring",
+    "Sqe",
     "FileHandle",
     "VirtualFileSystem",
 ]

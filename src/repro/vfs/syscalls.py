@@ -10,7 +10,7 @@ what makes section 8.1's syscall/context-switch accounting exact: one
 
 from __future__ import annotations
 
-from typing import Iterator
+from typing import TYPE_CHECKING, Iterator
 
 from repro.perf.meter import SyscallMeter
 from repro.vfs.acl import Acl
@@ -33,6 +33,9 @@ from repro.vfs.vfs import (
     FileHandle,
     VirtualFileSystem,
 )
+
+if TYPE_CHECKING:
+    from repro.vfs.uring import IoUring
 
 __all__ = [
     "Syscalls",
@@ -361,6 +364,21 @@ class Syscalls:
         """umount(2)."""
         self.meter.enter("umount")
         self.vfs.umount(self.ns, self.cred, self._abspath(path))
+
+    # -- batched submission (§8.1: amortize the kernel crossing) -----------------------
+
+    def io_uring_setup(self, entries: int = 256) -> "IoUring":
+        """io_uring_setup(2): create a submission/completion ring.
+
+        The ring shares this context's fd table and meter; queueing
+        entries and reaping completions touch only the ring memory, and
+        each :meth:`~repro.vfs.uring.IoUring.submit` costs exactly one
+        metered ``io_uring_enter`` however many entries it carries.
+        """
+        self.meter.enter("io_uring_setup")
+        from repro.vfs.uring import IoUring
+
+        return IoUring(self, entries)
 
     # -- notification ------------------------------------------------------------------
 

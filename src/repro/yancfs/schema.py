@@ -54,6 +54,21 @@ class AttributeFile(FileInode):
                 raise
         self._last_valid = self.read_all()
 
+    def set_validated_content(self, text: str) -> None:
+        """Validate and store ``text`` as the new committed content.
+
+        The direct-store (libyanc) equivalent of write + close: the same
+        validator runs, and on success the content becomes the rollback
+        point a later failed close restores to.  Raises
+        :class:`~repro.vfs.errors.InvalidArgument` — and changes nothing —
+        when validation fails.
+        """
+        if self.validator is not None:
+            self.validator(text)
+        data = text.encode()
+        self.set_content(data)
+        self._last_valid = data
+
 
 class ObjectDir(DirInode):
     """A yanc object directory: rmdir is automatically recursive (§3.2)."""
@@ -72,8 +87,7 @@ class CountersDir(ObjectDir):
 
 def _make_attr(fs: Filesystem, parent: DirInode, name: str, content: str, *, validator: validate.Validator | None = None, mode: int = DEFAULT_FILE_MODE) -> AttributeFile:
     node = AttributeFile(fs, mode=mode, uid=parent.uid, gid=parent.gid, validator=validator)
-    node.set_content(content.encode())
-    node._last_valid = content.encode()
+    node.set_validated_content(content)
     parent.attach(name, node)
     return node
 

@@ -1,0 +1,18 @@
+"""Cross-module private-attribute pokes (the AttributeFile._last_valid bug)."""
+
+from repro.yancfs.schema import AttributeFile
+from repro.yancfs.validate import flow_file_validator
+
+
+def poke_validation_cache(fs):
+    attr = AttributeFile(fs, mode=0o644, uid=0, gid=0, validator=flow_file_validator("priority"))
+    attr.set_content(b"7")
+    attr._last_valid = b"7"  # bad: private-poke
+    return attr
+
+
+def poke_in_branch(fs, fancy):
+    attr = AttributeFile(fs, mode=0o644, uid=0, gid=0)
+    if fancy:
+        attr._dirty = True  # bad: private-poke
+    return attr

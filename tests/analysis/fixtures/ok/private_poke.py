@@ -1,0 +1,30 @@
+"""The legal spellings: public mutators, self-pokes, same-module classes."""
+
+from repro.yancfs.schema import AttributeFile
+
+
+def public_mutator(fs):
+    attr = AttributeFile(fs, mode=0o644, uid=0, gid=0)
+    attr.set_validated_content("7")  # the public API keeps _last_valid in sync
+    return attr
+
+
+class Holder:
+    def __init__(self):
+        self._cache = None  # writes to self are the class's own business
+
+    def fill(self, value):
+        self._cache = value
+
+
+def same_module(fs):
+    holder = Holder()
+    holder._cache = 1  # Holder lives in this module: its privates are ours
+    return holder
+
+
+def rebound(fs):
+    attr = AttributeFile(fs, mode=0o644, uid=0, gid=0)
+    attr = object()
+    attr._anything = 1  # no longer the imported class: not tracked
+    return attr

@@ -57,6 +57,10 @@ def test_hygiene_rules():
     check_rule_pair("hygiene", "mutable-default", "shadow-builtin")
 
 
+def test_private_poke_rule():
+    check_rule_pair("private_poke", "private-poke")
+
+
 def test_proc_discipline_rule():
     check_rule_pair("proc_discipline", "proc-discipline")
 
@@ -100,7 +104,7 @@ def test_cli_list_rules(capsys):
     rc = main(["--list-rules"])
     out = capsys.readouterr().out
     assert rc == 0
-    for rule in ("determinism", "vfs-bypass", "error-discipline", "schema-coverage", "mutable-default", "shadow-builtin", "proc-discipline", "shared-write-discipline", "notify-before-read"):
+    for rule in ("determinism", "vfs-bypass", "error-discipline", "schema-coverage", "mutable-default", "shadow-builtin", "private-poke", "proc-discipline", "shared-write-discipline", "notify-before-read"):
         assert rule in out
 
 

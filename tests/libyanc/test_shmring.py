@@ -77,3 +77,79 @@ def test_op_counters():
 def test_capacity_validation():
     with pytest.raises(ValueError):
         ShmRing(0)
+
+
+# -- pollability (the run-loop integration of fastpath v2) ------------------------------
+
+
+def test_ring_plugs_into_epoll():
+    from repro.vfs.poll import Epoll
+
+    ring = ShmRing(4)
+    ep = Epoll()
+    ep.add(ring)
+    assert ep.wait() == []
+    ring.put(b"x")
+    # Level-triggered: ready until drained.
+    assert ep.wait() == [ring]
+    assert ep.wait() == [ring]
+    ring.get()
+    assert ep.wait() == []
+
+
+def test_ring_notifies_only_on_empty_to_nonempty_edge():
+    from repro.vfs.poll import Epoll
+
+    ring = ShmRing(4)
+    ep = Epoll()
+    edges = []
+    ep.wakeup = lambda: edges.append(1)
+    ep.add(ring)
+    ring.put(b"a")
+    assert len(edges) == 1
+    ring.put(b"b")  # still non-empty: no second edge
+    assert len(edges) == 1
+    ring.drain()
+    ep.wait()  # consume the first edge's signal
+    ring.put(b"c")  # drained back to empty: a fresh edge
+    assert len(edges) == 2
+
+
+def test_unregistered_ring_stops_notifying():
+    from repro.vfs.poll import Epoll
+
+    ring = ShmRing(4)
+    ep = Epoll()
+    ep.add(ring)
+    ep.remove(ring)
+    ring.put(b"x")
+    assert ep.wait() == []
+
+
+def test_wraparound_with_interleaved_overflow_drops():
+    counters = PerfCounters()
+    ring = ShmRing(3, counters=counters)
+    accepted, dropped = 0, 0
+    for i in range(10):
+        if ring.put(f"m{i}".encode()):
+            accepted += 1
+        else:
+            dropped += 1
+        if i % 2:
+            ring.get()
+    # Slots recycle across the wrap point; order survives.
+    remaining = [bytes(view) for view in ring.drain()]
+    assert ring.dropped == dropped
+    assert counters.get("shm.dropped") == dropped
+    assert accepted - dropped >= 0
+    assert remaining == sorted(remaining, key=lambda m: int(m[1:]))
+    assert len(ring) == 0
+
+
+def test_full_ring_readability_unaffected_by_drops():
+    ring = ShmRing(1)
+    ring.put(b"a")
+    assert ring.readable() and ring.full
+    assert ring.put(b"b") is False  # dropped, not queued
+    assert bytes(ring.get()) == b"a"
+    assert not ring.readable()

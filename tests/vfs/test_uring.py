@@ -1,0 +1,212 @@
+"""IoUring: batched submission, linked chains, completion ordering, polling."""
+
+import pytest
+
+from repro.vfs import EPOLL_CTL_ADD, LINK_FD, InvalidArgument, O_RDONLY
+from repro.vfs.syscalls import Syscalls
+from repro.vfs.vfs import VirtualFileSystem
+
+
+@pytest.fixture
+def sc():
+    vfs = VirtualFileSystem()
+    return Syscalls(vfs)
+
+
+@pytest.fixture
+def ring(sc):
+    return sc.io_uring_setup()
+
+
+# -- completion ordering ---------------------------------------------------------------
+
+
+def test_completions_arrive_in_submission_order(sc, ring):
+    ring.prep("mkdir", "/a")
+    ring.prep("mkdir", "/b")
+    ring.prep("listdir", "/")
+    assert ring.submit() == 3
+    cqes = ring.completions()
+    assert [c.op for c in cqes] == ["mkdir", "mkdir", "listdir"]
+    assert [c.index for c in cqes] == [0, 1, 2]
+    assert sorted(cqes[2].result) == ["a", "b"]
+
+
+def test_order_preserved_across_submits(sc, ring):
+    ring.prep("mkdir", "/a")
+    ring.submit()
+    ring.prep("mkdir", "/b")
+    ring.submit()
+    cqes = ring.completions()
+    assert [(c.index, c.op) for c in cqes] == [(0, "mkdir"), (1, "mkdir")]
+
+
+def test_partial_reap_keeps_remainder(sc, ring):
+    for name in ("/a", "/b", "/c"):
+        ring.prep("mkdir", name)
+    ring.submit()
+    first = ring.completions(max_entries=1)
+    assert [c.index for c in first] == [0]
+    assert ring.cq_pending == 2
+    assert [c.index for c in ring.completions()] == [1, 2]
+
+
+def test_failed_op_reports_error_without_stopping_batch(sc, ring):
+    ring.prep("mkdir", "/ok")
+    ring.prep("listdir", "/missing")  # independent entries: no link
+    ring.prep("mkdir", "/also_ok")
+    ring.submit()
+    cqes = ring.completions()
+    assert cqes[0].ok and cqes[2].ok
+    assert not cqes[1].ok and cqes[1].error is not None and not cqes[1].canceled
+    assert sc.exists("/also_ok")
+
+
+# -- linked chains ---------------------------------------------------------------------
+
+
+def test_link_fd_threads_open_write_close(sc, ring):
+    ring.prep_write_file("/f", b"hello")
+    ring.submit()
+    cqes = ring.completions()
+    assert [c.op for c in cqes] == ["open", "write", "close"]
+    assert all(c.ok for c in cqes)
+    assert sc.read_bytes("/f") == b"hello"
+
+
+def test_chain_failure_cancels_the_rest(sc, ring):
+    ring.prep("mkdir", "/missing/deep", link=True)  # fails: parent absent
+    ring.prep("mkdir", "/never", link=True)
+    ring.prep("mkdir", "/never2")
+    ring.prep("mkdir", "/independent")  # next chain: unaffected
+    ring.submit()
+    cqes = ring.completions()
+    assert cqes[0].error is not None
+    assert cqes[1].canceled and cqes[2].canceled
+    assert cqes[3].ok
+    assert not sc.exists("/never") and sc.exists("/independent")
+
+
+def test_severed_chain_autocloses_its_fd(sc, ring):
+    sc.write_bytes("/f", b"x")
+    ring.prep("open", "/f", O_RDONLY, link=True)
+    ring.prep("listdir", "/missing", link=True)  # fails mid-chain
+    ring.prep("close", LINK_FD)
+    ring.submit()
+    cqes = ring.completions()
+    assert cqes[0].ok and cqes[1].error is not None and cqes[2].canceled
+    # The chain's fd was reclaimed: the table is empty again.
+    assert not sc._fds
+    assert sc.meter.counters.get("uring.chain_autoclose") == 1
+
+
+def test_link_fd_without_open_is_an_error(sc, ring):
+    ring.prep("close", LINK_FD)
+    ring.submit()
+    (cqe,) = ring.completions()
+    assert cqe.error is not None and not cqe.canceled
+
+
+def test_batched_fd_usable_by_direct_calls(sc, ring):
+    sc.write_bytes("/f", b"payload")
+    ring.prep("open", "/f", O_RDONLY)
+    ring.submit()
+    (cqe,) = ring.completions()
+    assert sc.read(cqe.result, 7) == b"payload"
+    sc.close(cqe.result)
+
+
+def test_maildir_chain_publishes_atomically(sc, ring):
+    sc.mkdir("/spool")
+    ring.prep("mkdir", "/spool/.tmp", link=True)
+    ring.prep_write_file("/spool/.tmp/data", b"x", link=True)
+    ring.prep("rename", "/spool/.tmp", "/spool/item")
+    ring.submit()
+    assert all(c.ok for c in ring.completions())
+    assert sc.listdir("/spool") == ["item"]
+
+
+# -- metering --------------------------------------------------------------------------
+
+
+def test_submit_is_one_syscall_regardless_of_batch_size(sc, ring):
+    sc.meter.reset()
+    for i in range(20):
+        ring.prep("mkdir", f"/d{i}")
+    ring.submit()
+    assert sc.meter.counters.get("syscall.io_uring_enter") == 1
+    assert sc.meter.counters.get("syscall.total") == 1
+    assert sc.meter.counters.get("syscall.mkdir") == 0  # batched, not direct
+    assert sc.meter.counters.get("uring.sqe") == 20
+    assert sc.meter.counters.get("uring.mkdir") == 20
+
+
+def test_empty_submit_is_free(sc, ring):
+    sc.meter.reset()
+    assert ring.submit() == 0
+    assert sc.meter.syscalls == 0
+
+
+def test_batched_payload_bytes_still_billed(sc, ring):
+    sc.meter.reset()
+    ring.prep_write_file("/f", b"12345")
+    ring.submit()
+    assert sc.meter.counters.get("bytes.copied") == 5
+    ring.prep("open", "/f", O_RDONLY, link=True)
+    ring.prep("read", LINK_FD, 5, link=True)
+    ring.prep("close", LINK_FD)
+    ring.submit()
+    assert sc.meter.counters.get("bytes.copied") == 10
+
+
+# -- validation ------------------------------------------------------------------------
+
+
+def test_unknown_op_rejected(ring):
+    with pytest.raises(InvalidArgument):
+        ring.prep("spawn")
+
+
+def test_queue_full_rejected(sc):
+    ring = sc.io_uring_setup(entries=2)
+    ring.prep("mkdir", "/a")
+    ring.prep("mkdir", "/b")
+    with pytest.raises(InvalidArgument):
+        ring.prep("mkdir", "/c")
+    ring.submit()
+    ring.prep("mkdir", "/c")  # room again after the flush
+
+
+def test_bad_ring_size_rejected(sc):
+    with pytest.raises(InvalidArgument):
+        sc.io_uring_setup(entries=0)
+
+
+# -- the pollable completion queue ------------------------------------------------------
+
+
+def test_cq_plugs_into_epoll(sc, ring):
+    ep = sc.epoll_create()
+    sc.epoll_ctl(ep, EPOLL_CTL_ADD, ring)
+    assert sc.epoll_wait(ep) == []
+    ring.prep("mkdir", "/d")
+    assert sc.epoll_wait(ep) == []  # prepared but not submitted
+    ring.submit()
+    # Level-triggered: ready until the CQ drains.
+    assert sc.epoll_wait(ep) == [ring]
+    assert sc.epoll_wait(ep) == [ring]
+    ring.completions()
+    assert sc.epoll_wait(ep) == []
+
+
+def test_cq_edge_fires_wakeup(sc, ring):
+    ep = sc.epoll_create()
+    wakeups = []
+    ep.wakeup = lambda: wakeups.append(1)
+    sc.epoll_ctl(ep, EPOLL_CTL_ADD, ring)
+    ring.prep("mkdir", "/a")
+    ring.submit()
+    assert len(wakeups) == 1
+    ring.prep("mkdir", "/b")
+    ring.submit()  # CQ was already non-empty: no second edge
+    assert len(wakeups) == 1
