@@ -45,6 +45,10 @@ from repro.dataplane import (
     Match,
     Network,
     Output,
+    TrafficMatrix,
+    TrafficReplay,
+    build_campus,
+    build_clos,
     build_fat_tree,
     build_linear,
     build_random,
@@ -65,6 +69,10 @@ __all__ = [
     "Match",
     "Network",
     "Output",
+    "TrafficMatrix",
+    "TrafficReplay",
+    "build_campus",
+    "build_clos",
     "build_fat_tree",
     "build_linear",
     "build_random",

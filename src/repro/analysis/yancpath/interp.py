@@ -370,6 +370,7 @@ class State:
     fds: dict[str, FdInfo] = field(default_factory=dict)
     staged: dict[int, ast.AST] = field(default_factory=dict)  # id(node) -> node
     listings: set[str] = field(default_factory=set)  # vars holding listdir() results
+    tablerows: set[str] = field(default_factory=set)  # vars holding table.entries() results
     committed: bool = False
     returned: bool = False
 
@@ -380,6 +381,7 @@ class State:
             fds={k: FdInfo(v.site, v.protected) for k, v in self.fds.items()},
             staged=dict(self.staged),
             listings=set(self.listings),
+            tablerows=set(self.tablerows),
             committed=self.committed,
             returned=self.returned,
         )
@@ -408,6 +410,7 @@ def _merge_states(a: State, b: State) -> State:
         fds=fds,
         staged=staged,
         listings=a.listings | b.listings,
+        tablerows=a.tablerows | b.tablerows,
         committed=a.committed and b.committed,
         returned=a.returned and b.returned,
     )
@@ -541,10 +544,12 @@ class FuncInterp:
             value = self.eval(stmt.value, state)
             value_type = self._type_of(stmt.value, state)
             listing = self._listing_origin(stmt.value, state)
+            rows = self._entries_origin(stmt.value, state)
             for target in stmt.targets:
                 self._assign(target, value, state, value_type)
                 if isinstance(target, ast.Name):
                     (state.listings.add if listing else state.listings.discard)(target.id)
+                    (state.tablerows.add if rows else state.tablerows.discard)(target.id)
             self._track_open(stmt, state)
         elif isinstance(stmt, ast.AnnAssign):
             if stmt.value is not None:
@@ -721,6 +726,8 @@ class FuncInterp:
             return False, "for"
         if isinstance(iterable, ast.Name) and iterable.id in state.listings:
             return False, "listdir"
+        if isinstance(iterable, ast.Name) and iterable.id in state.tablerows:
+            return False, "entries"
         if isinstance(iterable, ast.Attribute) and "entries" in iterable.attr:
             return False, "entries"
         return False, "for"
@@ -732,6 +739,31 @@ class FuncInterp:
             return syscall_method(inner) == "listdir"
         if isinstance(inner, ast.Name):
             return inner.id in state.listings
+        return False
+
+    def _entries_origin(self, expr, state: State) -> bool:
+        """Does ``expr`` evaluate to a flow table's full entry list?
+
+        Provenance tracking for the linear-table-scan checker: stashing
+        ``table.entries()`` in a local and looping over the local later is
+        still a full-table scan, even though the loop iterable is a bare
+        name.  Mirrors the ``listdir`` provenance in ``state.listings``.
+        """
+        inner = _unwrap_iter(expr)
+        if isinstance(inner, ast.Call):
+            func = inner.func
+            if isinstance(func, ast.Attribute) and func.attr.lstrip("_") == "entries":
+                return True
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "values"
+                and isinstance(func.value, ast.Attribute)
+                and "entries" in func.value.attr
+            ):
+                return True
+            return False
+        if isinstance(inner, ast.Name):
+            return inner.id in state.tablerows
         return False
 
     def _assign(self, target, value: tuple, state: State, value_type: str | None = None) -> None:

@@ -9,9 +9,13 @@ match through the network."  On every punted packet it either
   releases the buffered packet along the first hop.
 
 Host locations are learned from packets entering at *edge* ports (ports
-with no ``peer`` symlink); the topology comes straight from the peer
-symlinks the topology daemon maintains — two applications cooperating
-through nothing but the file system.
+that appear in no discovered adjacency); the topology comes from the
+topology daemon's incremental delta stream — two applications
+cooperating through nothing but the file system.  The router walks the
+peer symlinks exactly once, at startup, then keeps its adjacency (and
+the spanning tree / shortest paths / edge-port sets derived from it)
+cached in memory, invalidated by delta files rather than re-read per
+packet.  In steady state, routing a packet costs zero topology syscalls.
 """
 
 from __future__ import annotations
@@ -24,11 +28,14 @@ from repro.netpkt.addr import MacAddress
 from repro.netpkt.ethernet import ETH_TYPE_LLDP
 from repro.netpkt.packet import parse_frame
 from repro.vfs.errors import FileExists, FsError
+from repro.vfs.notify import EventMask
 from repro.yancfs.client import PacketInEvent
 from repro.apps.base import PacketInApp
-from repro.apps.topology import read_topology
+from repro.apps.topology import DEFAULT_DELTAS_PATH, PortCache, parse_delta, read_topology
 
 NO_BUFFER = 0xFFFFFFFF
+
+_PORTS_MASK = EventMask.IN_CREATE | EventMask.IN_DELETE | EventMask.IN_MOVED_FROM | EventMask.IN_MOVED_TO
 
 
 class RouterDaemon(PacketInApp):
@@ -43,61 +50,154 @@ class RouterDaemon(PacketInApp):
         *,
         root: str = "/net",
         flow_idle_timeout: float = 10.0,
-        topology_cache_ttl: float = 0.2,
+        deltas_path: str = DEFAULT_DELTAS_PATH,
         record_hosts: bool = True,
     ) -> None:
         super().__init__(sc, sim, root=root)
         self.flow_idle_timeout = flow_idle_timeout
-        self.topology_cache_ttl = topology_cache_ttl
+        self.deltas_path = deltas_path
         self.record_hosts = record_hosts
         self.host_locations: dict[MacAddress, tuple[str, int]] = {}
+        self.port_cache = PortCache(self.yc)
         self._topology: dict[tuple[str, int], tuple[str, int]] = {}
-        self._topology_read_at = -1.0
+        self._linked_ports: dict[str, set[int]] = {}
+        self._graph_cache: dict[str, dict[str, int]] | None = None
+        self._tree_cache: set[frozenset[str]] | None = None
+        self._tree_ports: dict[str, set[int]] = {}
+        self._path_cache: dict[tuple[str, str], list[str] | None] = {}
         self._flow_seq = 0
         self.paths_installed = 0
         self.floods = 0
+        self.full_topology_reads = 0
+        self.deltas_applied = 0
+
+    def on_start(self) -> None:
+        super().on_start()
+        # Watch first, resync second: a delta published while the full
+        # walk is in flight is applied on top of it (adds/removes are
+        # idempotent against the walked state), so no window is missed.
+        if not self.sc.exists(self.deltas_path):
+            try:
+                self.sc.makedirs(self.deltas_path)
+            except FsError:
+                pass
+        self.watch(self.deltas_path, EventMask.IN_CREATE | EventMask.IN_MOVED_TO, ("deltas",))
+        self._resync()
+
+    def on_switch_added(self, switch: str) -> None:
+        self.watch(f"{self.yc.switch_path(switch)}/ports", _PORTS_MASK, ("ports", switch))
+
+    def on_switch_removed(self, switch: str) -> None:
+        self.unwatch(("ports", switch))
+        self.port_cache.invalidate(switch)
 
     # -- topology ------------------------------------------------------------------------
 
     def topology(self) -> dict[tuple[str, int], tuple[str, int]]:
-        """The adjacency map, re-read from peer symlinks with a short TTL."""
-        if self.sim.now - self._topology_read_at > self.topology_cache_ttl:
-            try:
-                self._topology = read_topology(self.yc)
-            except FsError:
-                self._topology = {}
-            self._topology_read_at = self.sim.now
+        """The cached adjacency map (maintained by deltas, not re-read)."""
         return self._topology
 
+    def _resync(self) -> None:
+        """Full walk of the peer symlinks (startup, or a missed delta)."""
+        try:
+            self._topology = read_topology(self.yc)
+        except FsError:
+            self._topology = {}
+        self.full_topology_reads += 1
+        self._linked_ports = {}
+        for (src_sw, src_port) in self._topology:
+            self._linked_ports.setdefault(src_sw, set()).add(src_port)
+        self._invalidate_routes()
+
+    def _invalidate_routes(self) -> None:
+        self._graph_cache = None
+        self._tree_cache = None
+        self._tree_ports = {}
+        self._path_cache = {}
+
+    def on_other_event(self, ctx: tuple, event) -> None:
+        if ctx[0] == "ports":
+            self.port_cache.invalidate(ctx[1])
+            return
+        if ctx[0] != "deltas" or not event.name or event.name.startswith("."):
+            return
+        try:
+            text = self.sc.read_text(f"{self.deltas_path}/{event.name}")
+        except FsError:
+            # The publisher already pruned this delta: we fell too far
+            # behind the stream, so fall back to one full walk.
+            self._resync()
+            return
+        delta = parse_delta(text)
+        if delta is None:
+            return
+        self._apply_delta(delta)
+
+    def _apply_delta(self, delta) -> None:
+        if delta.kind == "add":
+            if self._topology.get(delta.src) == delta.dst:
+                return  # already known (e.g. seen by the startup walk)
+            self._topology[delta.src] = delta.dst
+            self._linked_ports.setdefault(delta.src[0], set()).add(delta.src[1])
+            # A port just became inter-switch: any host "learned" there
+            # was really traffic in transit, so forget it.
+            for mac, location in list(self.host_locations.items()):
+                if location == delta.src:
+                    del self.host_locations[mac]
+        else:
+            if self._topology.pop(delta.src, None) is None:
+                return
+            self._linked_ports.get(delta.src[0], set()).discard(delta.src[1])
+        self.deltas_applied += 1
+        self._invalidate_routes()
+
     def _graph(self) -> dict[str, dict[str, int]]:
-        """switch -> {neighbour switch -> local out-port}."""
-        graph: dict[str, dict[str, int]] = {}
-        for (src_sw, src_port), (dst_sw, _dst_port) in self.topology().items():
-            graph.setdefault(src_sw, {})[dst_sw] = src_port
-            graph.setdefault(dst_sw, {})
-        return graph
+        """switch -> {neighbour switch -> local out-port} (cached)."""
+        if self._graph_cache is None:
+            graph: dict[str, dict[str, int]] = {}
+            for (src_sw, src_port), (dst_sw, _dst_port) in self._topology.items():
+                graph.setdefault(src_sw, {})[dst_sw] = src_port
+                graph.setdefault(dst_sw, {})
+            self._graph_cache = graph
+        return self._graph_cache
 
     def _spanning_tree(self) -> set[frozenset[str]]:
         """BFS tree edges over the switch graph (loop-free flooding)."""
-        graph = self._graph()
-        if not graph:
-            return set()
-        root = min(graph)
-        seen = {root}
-        tree: set[frozenset[str]] = set()
-        queue = deque([root])
-        while queue:
-            current = queue.popleft()
-            for neighbour in sorted(graph.get(current, {})):
-                if neighbour in seen:
-                    continue
-                seen.add(neighbour)
-                tree.add(frozenset((current, neighbour)))
-                queue.append(neighbour)
-        return tree
+        if self._tree_cache is None:
+            graph = self._graph()
+            tree: set[frozenset[str]] = set()
+            if graph:
+                root = min(graph)
+                seen = {root}
+                queue = deque([root])
+                while queue:
+                    current = queue.popleft()
+                    for neighbour in sorted(graph.get(current, {})):
+                        if neighbour in seen:
+                            continue
+                        seen.add(neighbour)
+                        tree.add(frozenset((current, neighbour)))
+                        queue.append(neighbour)
+            self._tree_cache = tree
+            # Per-switch ports that sit on a tree edge, computed once per
+            # topology generation instead of per flood.
+            ports: dict[str, set[int]] = {}
+            for (src_sw, src_port), (dst_sw, _dst_port) in self._topology.items():
+                if frozenset((src_sw, dst_sw)) in tree:
+                    ports.setdefault(src_sw, set()).add(src_port)
+            self._tree_ports = ports
+        return self._tree_cache
 
     def shortest_path(self, src_switch: str, dst_switch: str) -> list[str] | None:
-        """BFS shortest switch path, inclusive of both ends."""
+        """BFS shortest switch path, inclusive of both ends (cached)."""
+        cache_key = (src_switch, dst_switch)
+        if cache_key in self._path_cache:
+            return self._path_cache[cache_key]
+        path = self._compute_path(src_switch, dst_switch)
+        self._path_cache[cache_key] = path
+        return path
+
+    def _compute_path(self, src_switch: str, dst_switch: str) -> list[str] | None:
         if src_switch == dst_switch:
             return [src_switch]
         graph = self._graph()
@@ -122,25 +222,15 @@ class RouterDaemon(PacketInApp):
     # -- port classification ------------------------------------------------------------
 
     def _edge_ports(self, switch: str) -> list[int]:
-        """Ports with no peer symlink: where hosts live."""
-        linked = {src_port for (src_sw, src_port) in self.topology() if src_sw == switch}
-        ports = []
-        for port_name in self.yc.ports(switch):
-            try:
-                port_no = int(port_name.rsplit("_", 1)[-1])
-            except ValueError:
-                continue
-            if port_no not in linked:
-                ports.append(port_no)
-        return ports
+        """Ports on no discovered link: where hosts live."""
+        linked = self._linked_ports.get(switch, set())
+        return [p for p in self.port_cache.ports(switch) if p not in linked]
 
     def _flood_ports(self, switch: str, in_port: int) -> list[int]:
         """Edge ports plus spanning-tree link ports, minus the ingress."""
-        tree = self._spanning_tree()
+        self._spanning_tree()  # ensures _tree_ports is current
         ports = set(self._edge_ports(switch))
-        for (src_sw, src_port), (dst_sw, _dst_port) in self.topology().items():
-            if src_sw == switch and frozenset((src_sw, dst_sw)) in tree:
-                ports.add(src_port)
+        ports |= self._tree_ports.get(switch, set())
         ports.discard(in_port)
         return sorted(ports)
 
@@ -167,11 +257,8 @@ class RouterDaemon(PacketInApp):
     def _learn(self, event: PacketInEvent, src_mac: MacAddress) -> None:
         if src_mac.is_multicast:
             return
-        try:
-            if self.yc.peer_of(event.switch, event.in_port) is not None:
-                return  # arrived over an inter-switch link: not the edge
-        except FsError:
-            return
+        if (event.switch, event.in_port) in self._topology:
+            return  # arrived over an inter-switch link: not the edge
         known = self.host_locations.get(src_mac)
         self.host_locations[src_mac] = (event.switch, event.in_port)
         if known != (event.switch, event.in_port) and self.record_hosts:
@@ -230,7 +317,7 @@ class RouterDaemon(PacketInApp):
             if index + 1 < len(path):
                 next_switch = path[index + 1]
                 # The frame enters the next switch on the reverse port.
-                in_port = self.topology().get((switch, out_port), (next_switch, 0))[1]
+                in_port = self._topology.get((switch, out_port), (next_switch, 0))[1]
         self.paths_installed += 1
         if event.buffer_id != NO_BUFFER:
             self.yc.packet_out(

@@ -24,13 +24,15 @@ from repro.dataplane.actions import (
     StripVlan,
     parse_action,
 )
-from repro.dataplane.flowtable import FlowEntry, FlowRemovedReason, FlowTable
+from repro.dataplane.flowtable import FlowEntry, FlowRemovedReason, FlowTable, LinearFlowTable
 from repro.dataplane.host import HostSim
 from repro.dataplane.link import Link
 from repro.dataplane.match import Match
 from repro.dataplane.network import Network
 from repro.dataplane.switch import PacketInReason, PortSim, SwitchSim
 from repro.dataplane.topology import (
+    build_campus,
+    build_clos,
     build_fat_tree,
     build_linear,
     build_random,
@@ -38,6 +40,7 @@ from repro.dataplane.topology import (
     build_star,
     build_tree,
 )
+from repro.dataplane.traffic import ReplayStats, TrafficFlow, TrafficMatrix, TrafficReplay
 
 __all__ = [
     "FLOOD",
@@ -58,6 +61,7 @@ __all__ = [
     "FlowEntry",
     "FlowRemovedReason",
     "FlowTable",
+    "LinearFlowTable",
     "HostSim",
     "Link",
     "Match",
@@ -65,10 +69,16 @@ __all__ = [
     "PacketInReason",
     "PortSim",
     "SwitchSim",
+    "build_campus",
+    "build_clos",
     "build_fat_tree",
     "build_linear",
     "build_random",
     "build_ring",
     "build_star",
     "build_tree",
+    "ReplayStats",
+    "TrafficFlow",
+    "TrafficMatrix",
+    "TrafficReplay",
 ]

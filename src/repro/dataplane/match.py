@@ -29,6 +29,35 @@ MATCH_FIELD_NAMES = (
     "tp_dst",
 )
 
+#: The CIDR-valued fields (their signature entries carry a prefix length).
+_CIDR_FIELDS = frozenset({"nw_src", "nw_dst"})
+
+#: A wildcard shape: ``((field, prefixlen-or-None), ...)`` sorted by field.
+MaskSignature = tuple
+
+
+def signature_key_of(signature: MaskSignature, key: "FlowKey", in_port: int) -> tuple | None:
+    """The hash-bucket key a packet produces under one wildcard shape.
+
+    Masks the packet's header fields down to exactly the bits a match with
+    this signature constrains (tuple-space search: one hash probe per
+    distinct wildcard shape).  Returns None when the packet lacks a field
+    the shape requires — no entry of that shape can match it.
+    """
+    parts = []
+    for name, plen in signature:
+        if name == "in_port":
+            parts.append(in_port)
+            continue
+        value = getattr(key, name)
+        if value is None:
+            return None
+        if plen is not None:
+            parts.append(int(value) >> (32 - plen) if plen else 0)
+        else:
+            parts.append(value)
+    return tuple(parts)
+
 
 @dataclass(frozen=True)
 class Match:
@@ -116,6 +145,49 @@ class Match:
             elif mine != theirs:
                 return False
         return True
+
+    def mask_signature(self) -> MaskSignature:
+        """The wildcard *shape* of this match, as a hashable signature.
+
+        ``((field, prefixlen-or-None), ...)`` over the specified fields,
+        sorted by field name; CIDR fields carry their prefix length so a
+        ``/24`` and a ``/32`` match live in different tuple-space groups.
+        Entries with the same signature share one hash-bucket family in
+        :class:`~repro.dataplane.flowtable.FlowTable`.  Cached — Match is
+        frozen, so the shape can never change.
+        """
+        cached = self.__dict__.get("_mask_signature")
+        if cached is None:
+            parts = []
+            for f in fields(self):
+                value = getattr(self, f.name)
+                if value is None:
+                    continue
+                plen = value.prefixlen if f.name in _CIDR_FIELDS else None
+                parts.append((f.name, plen))
+            cached = tuple(parts)
+            self.__dict__["_mask_signature"] = cached
+        return cached
+
+    def bucket_key(self) -> tuple:
+        """This match's hash-bucket key within its signature's group.
+
+        Aligned field-for-field with what :func:`signature_key_of` produces
+        from a packet: a packet's key equals an entry's ``bucket_key()``
+        exactly when the entry matches the packet (for that shape).
+        """
+        cached = self.__dict__.get("_bucket_key")
+        if cached is None:
+            parts = []
+            for name, plen in self.mask_signature():
+                value = getattr(self, name)
+                if plen is not None:
+                    parts.append(int(value.network_address) >> (32 - plen) if plen else 0)
+                else:
+                    parts.append(value)
+            cached = tuple(parts)
+            self.__dict__["_bucket_key"] = cached
+        return cached
 
     def specified_fields(self) -> dict[str, object]:
         """The non-wildcard fields as a name -> value mapping."""

@@ -95,6 +95,65 @@ def build_fat_tree(k: int = 4, *, sim: Simulator | None = None) -> Network:
     return net
 
 
+def build_clos(
+    num_spines: int = 2,
+    num_leaves: int = 4,
+    *,
+    hosts_per_leaf: int = 2,
+    sim: Simulator | None = None,
+) -> Network:
+    """A two-tier spine-leaf Clos: every leaf uplinks to every spine.
+
+    The standard modern datacenter fabric — all leaf pairs are exactly
+    two hops apart and the spine tier spreads load across
+    ``num_spines`` equal-cost paths.  Switches are named ``spine<i>``
+    and ``leaf<i>``; hosts hang off the leaves.
+    """
+    if num_spines < 1 or num_leaves < 1:
+        raise ValueError("need at least one spine and one leaf")
+    net = Network(sim)
+    spines = [net.add_switch(f"spine{i + 1}") for i in range(num_spines)]
+    for leaf_index in range(num_leaves):
+        leaf = net.add_switch(f"leaf{leaf_index + 1}")
+        for spine in spines:
+            net.link_switches(leaf, spine)
+        for _ in range(hosts_per_leaf):
+            net.attach_host(net.add_host(), leaf)
+    return net
+
+
+def build_campus(
+    num_buildings: int = 3,
+    floors_per_building: int = 2,
+    *,
+    hosts_per_floor: int = 2,
+    sim: Simulator | None = None,
+) -> Network:
+    """A three-tier campus: core pair, per-building distribution, access.
+
+    Two core switches (linked to each other) each connect to every
+    building's distribution switch; each floor's access switch dual-homes
+    to its building's distribution and hosts the floor's machines.
+    Names: ``core1``/``core2``, ``b<i>d``, ``b<i>f<j>``.
+    """
+    if num_buildings < 1 or floors_per_building < 1:
+        raise ValueError("need at least one building and one floor")
+    net = Network(sim)
+    core_a = net.add_switch("core1")
+    core_b = net.add_switch("core2")
+    net.link_switches(core_a, core_b)
+    for b in range(num_buildings):
+        dist = net.add_switch(f"b{b + 1}d")
+        net.link_switches(dist, core_a)
+        net.link_switches(dist, core_b)
+        for f in range(floors_per_building):
+            access = net.add_switch(f"b{b + 1}f{f + 1}")
+            net.link_switches(access, dist)
+            for _ in range(hosts_per_floor):
+                net.attach_host(net.add_host(), access)
+    return net
+
+
 def build_random(num_switches: int, *, edge_probability: float = 0.3, seed: int = 7, sim: Simulator | None = None) -> Network:
     """A connected Erdős–Rényi-ish random switch graph with one host each.
 

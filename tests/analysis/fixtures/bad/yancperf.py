@@ -25,6 +25,14 @@ class HotPathApp:
                 return entry
         return None
 
+    def lookup_indirect(self, key):
+        # Stashing the entry list first is still a full-table scan.
+        rows = self.table.entries()
+        for entry in rows:  # bad: linear-table-scan
+            if entry.key == key:
+                return entry
+        return None
+
     def relink_all(self, paths):
         for path in paths:
             if self.sc.exists(f"{path}/peer"):

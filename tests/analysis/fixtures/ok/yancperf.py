@@ -20,6 +20,13 @@ class CoolPathApp:
         # Indexed: no full-table scan on the hot path.
         return self.index.get(key)
 
+    def lookup_bucketed(self, key):
+        # Tuple-space probe: walks one hash bucket, never the whole table.
+        for entry in self.index.get(key, []):
+            if entry.live:
+                return entry
+        return None
+
     def relink_all(self, paths):
         for path in paths:
             try:

@@ -220,6 +220,55 @@ def test_fixed_findings_stay_fixed():
     assert not [f for f in topology if f.rule == "path-reresolve"]
 
 
+def test_indexed_flowtable_lookup_not_flagged():
+    """The tuple-space FlowTable probes buckets; no linear-table-scan."""
+    findings = analyze_yancperf([str(REPO / "src" / "repro" / "dataplane" / "flowtable.py")])
+    assert not [f for f in findings if f.rule == "linear-table-scan"]
+
+
+# -- entries provenance (indirected full-table scans) ---------------------------------
+
+
+def test_indirected_entries_scan_still_fires():
+    """Stashing table.entries() in a local does not launder the scan."""
+    assert _analyze_text(
+        """\
+        def lookup(table, key):
+            rows = table.entries()
+            for entry in rows:
+                if entry.key == key:
+                    return entry
+            return None
+        """
+    ) == [("linear-table-scan", 3)]
+
+
+def test_sorted_wrapper_keeps_entries_provenance():
+    assert _analyze_text(
+        """\
+        def classify(table, key):
+            rows = sorted(table.entries())
+            for entry in rows:
+                if entry.key == key:
+                    return entry
+        """
+    ) == [("linear-table-scan", 3)]
+
+
+def test_rebinding_clears_entries_provenance():
+    """A variable rebound to something else stops counting as table rows."""
+    assert _analyze_text(
+        """\
+        def lookup(table, bucket_index, key):
+            rows = table.entries()
+            rows = bucket_index.get(key, [])
+            for entry in rows:
+                if entry.key == key:
+                    return entry
+        """
+    ) == []
+
+
 # -- calibration ----------------------------------------------------------------------
 
 

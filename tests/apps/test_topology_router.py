@@ -1,9 +1,18 @@
 """The topology daemon and the reactive router."""
 
+from types import SimpleNamespace
+
 import pytest
 
 from repro.apps import RouterDaemon, TopologyDaemon, read_topology
+from repro.apps.topology import (
+    DEFAULT_DELTAS_PATH,
+    TopologyDelta,
+    format_delta,
+    parse_delta,
+)
 from repro.dataplane import build_linear, build_ring, build_tree
+from repro.perf import SyscallMeter
 from repro.runtime import YancController
 
 
@@ -129,6 +138,105 @@ def test_second_ping_uses_installed_path_without_new_punt():
     ctl.run(1.0)
     assert h1.reachable(seq2)
     assert router.paths_installed == paths_before  # flow already in hardware
+
+
+# -- the incremental delta stream ---------------------------------------------
+
+
+def test_delta_format_parse_roundtrip():
+    add = TopologyDelta("add", ("sw1", 1), ("sw2", 2))
+    remove = TopologyDelta("remove", ("sw3", 4), None)
+    assert parse_delta(format_delta(add)) == add
+    assert parse_delta(format_delta(remove)) == remove
+    assert parse_delta("gibberish\n") is None
+    assert parse_delta("add sw1 x sw2 2") is None
+    assert parse_delta("add sw1 1") is None
+
+
+def test_discovery_publishes_parseable_add_deltas():
+    ctl, topod, _ = _stack(build_linear(3), router=False)
+    ctl.run(2.0)
+    sc = ctl.host.root_sc
+    names = [n for n in sc.listdir(DEFAULT_DELTAS_PATH) if not n.startswith(".")]
+    assert len(names) == topod.deltas_published > 0
+    deltas = [parse_delta(sc.read_text(f"{DEFAULT_DELTAS_PATH}/{n}")) for n in names]
+    assert all(d is not None and d.kind == "add" for d in deltas)
+    # the delta stream reconstructs exactly the adjacency in the tree
+    assert {d.src: d.dst for d in deltas} == ctl.expected_topology()
+
+
+def test_delta_backlog_is_pruned(monkeypatch):
+    monkeypatch.setattr("repro.apps.topology.DELTA_BACKLOG", 4)
+    ctl, topod, _ = _stack(build_linear(2), router=False)
+    ctl.run(1.0)
+    for n in range(10):
+        topod._publish_delta(TopologyDelta("add", (f"x{n}", 1), (f"y{n}", 1)))
+    sc = ctl.host.root_sc
+    names = [n for n in sc.listdir(DEFAULT_DELTAS_PATH) if not n.startswith(".")]
+    assert len(names) <= 4
+
+
+def test_router_builds_topology_from_deltas_alone():
+    """The router starts before discovery: its one walk sees an empty tree,
+    and the entire adjacency arrives via the delta stream."""
+    ctl, _, router = _stack(build_linear(3))
+    ctl.run(2.0)
+    assert router.topology() == ctl.expected_topology()
+    assert router.full_topology_reads == 1
+    assert router.deltas_applied >= len(ctl.expected_topology())
+
+
+def test_router_steady_state_routes_with_zero_topology_syscalls():
+    """Acceptance: routing a packet re-reads no topology in steady state.
+
+    The router gets its own SyscallMeter; after a warm-up window that
+    exercises every switch, a fresh host pair is routed end-to-end with
+    zero listdir/readlink syscalls and no new full-topology walk.
+    """
+    net = build_linear(3)
+    ctl = YancController(net).start()
+    TopologyDaemon(ctl.host.process(), ctl.sim).start()
+    meter = SyscallMeter()
+    router = RouterDaemon(ctl.host.process(meter=meter), ctl.sim).start()
+    ctl.run(2.0)
+    h1, h2, h3 = (ctl.net.hosts[n] for n in ("h1", "h2", "h3"))
+    seq = h1.ping(h3.ip)
+    ctl.run(3.0)
+    assert h1.reachable(seq)
+    assert router.full_topology_reads == 1  # the startup walk, never again
+
+    listdir_before = meter.counters.get("syscall.listdir")
+    readlink_before = meter.counters.get("syscall.readlink")
+    seq2 = h3.ping(h2.ip)  # a fresh pair: flood, learn, install a new path
+    ctl.run(3.0)
+    assert h3.reachable(seq2)
+    assert router.full_topology_reads == 1
+    assert meter.counters.get("syscall.listdir") == listdir_before
+    assert meter.counters.get("syscall.readlink") == readlink_before
+
+
+def test_router_resyncs_when_delta_file_already_pruned():
+    ctl, _, router = _stack(build_linear(2))
+    ctl.run(2.0)
+    walks = router.full_topology_reads
+    # a delta whose file the publisher already unlinked: fall back to a walk
+    router.on_other_event(("deltas",), SimpleNamespace(name="d_999_1"))
+    assert router.full_topology_reads == walks + 1
+    assert router.topology() == ctl.expected_topology()
+    # maildir dot-temp names are never read (and never force a walk)
+    router.on_other_event(("deltas",), SimpleNamespace(name=".d_partial"))
+    assert router.full_topology_reads == walks + 1
+
+
+def test_link_cut_propagates_via_remove_deltas():
+    ctl, topod, router = _stack(build_linear(2))
+    ctl.run(2.0)
+    assert router.topology() == ctl.expected_topology()
+    link = [l for l in ctl.net.links if hasattr(l.a, "switch") and hasattr(l.b, "switch")][0]
+    link.set_up(False)
+    ctl.run(3 * topod.link_ttl + 1.0)
+    assert router.topology() == {}
+    assert router.full_topology_reads == 1  # the cut arrived as deltas
 
 
 def test_app_stop_ceases_processing():

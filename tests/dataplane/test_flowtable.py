@@ -128,6 +128,75 @@ def test_modify_rewrites_actions():
     assert entry is not None and entry.actions == [Output(42)]
 
 
+def test_delete_nonstrict_ignores_priority():
+    table = FlowTable()
+    table.install(_entry(match=Match(tp_dst=22), priority=7))
+    assert len(table.delete(Match(tp_dst=22), priority=9999)) == 1
+    assert len(table) == 0
+
+
+def test_modify_strict_requires_exact_match_and_priority():
+    table = FlowTable()
+    table.install(_entry(match=Match(tp_dst=22), priority=7, port=1))
+    assert table.modify(Match(tp_dst=22), [Output(5)], strict=True, priority=8) == 0
+    assert table.modify(Match(tp_dst=22, dl_type=0x0800), [Output(5)], strict=True, priority=7) == 0
+    assert table.modify(Match(tp_dst=22), [Output(5)], strict=True, priority=7) == 1
+
+
+def test_modify_preserves_counters_and_timeouts():
+    """OpenFlow 1.0 §4.6: MODIFY leaves counters (and clocks) untouched."""
+    table = FlowTable()
+    entry = table.install(_entry(match=Match(tp_dst=22), idle_timeout=5.0), now=1.0)
+    entry.hit(now=2.0, nbytes=77)
+    assert table.modify(Match(), [Output(9)]) == 1
+    assert entry.actions == [Output(9)]
+    assert entry.packet_count == 1 and entry.byte_count == 77
+    assert entry.installed_at == 1.0 and entry.idle_timeout == 5.0
+    # The idle clock keeps ticking from the old last-hit, not the modify.
+    assert table.expire(6.9) == []
+    assert table.expire(7.0) == [(entry, FlowRemovedReason.IDLE_TIMEOUT)]
+
+
+def test_delete_nonstrict_cidr_selector_removes_only_narrower():
+    table = FlowTable()
+    narrow = table.install(_entry(match=Match(dl_type=0x0800, nw_dst="10.0.0.0/24")))
+    table.install(_entry(match=Match(dl_type=0x0800, nw_dst="10.0.0.0/8")))
+    removed = table.delete(Match(dl_type=0x0800, nw_dst="10.0.0.0/16"))
+    assert removed == [narrow]  # the /24 is inside the /16; the /8 is wider
+    assert len(table) == 1
+
+
+def test_delete_returns_entries_in_installation_order():
+    table = FlowTable()
+    low = table.install(_entry(match=Match(tp_dst=22), priority=1))
+    high = table.install(_entry(match=Match(tp_dst=80), priority=9))
+    removed = table.delete(Match())
+    assert removed == [low, high]  # install order, not priority order
+
+
+def test_hard_timeout_beats_idle_at_same_instant():
+    table = FlowTable()
+    entry = table.install(_entry(idle_timeout=5.0, hard_timeout=5.0), now=0.0)
+    assert table.expire(5.0) == [(entry, FlowRemovedReason.HARD_TIMEOUT)]
+
+
+def test_lookup_watermark_skips_lower_priority_shapes():
+    table = FlowTable()
+    high = table.install(_entry(match=Match(dl_type=0x0800), priority=100, port=1))
+    table.install(_entry(match=Match(tp_dst=22), priority=5, port=2))
+    assert table.lookup(KEY, 1) is high
+    # The tp_dst shape's max priority (5) can't beat 100: never probed.
+    assert table.entries_examined == 1
+
+
+def test_equal_max_priority_shapes_all_probed_for_the_tie_break():
+    table = FlowTable()
+    first = table.install(_entry(match=Match(tp_dst=22), priority=7, port=2))
+    table.install(_entry(match=Match(dl_type=0x0800), priority=7, port=1))
+    assert table.lookup(KEY, 1) is first  # oldest entry wins the tie
+    assert table.entries_examined == 2  # an equal-max shape is still probed
+
+
 def test_aggregate_stats():
     table = FlowTable()
     a = table.install(_entry(match=Match(tp_dst=22)))

@@ -1,0 +1,140 @@
+"""Scenario pack: Clos/campus builders and traffic-matrix replay."""
+
+import pytest
+
+from repro.dataplane import (
+    FLOOD,
+    FlowEntry,
+    Match,
+    Network,
+    Output,
+    TrafficFlow,
+    TrafficMatrix,
+    TrafficReplay,
+    build_campus,
+    build_clos,
+    build_linear,
+)
+
+
+def _flood_everything(net: Network) -> None:
+    for switch in net.switches.values():
+        switch.install_flow(FlowEntry(match=Match(), actions=[Output(FLOOD)], priority=1))
+
+
+def _switch_links(net: Network) -> list:
+    return [l for l in net.links if hasattr(l.a, "switch") and hasattr(l.b, "switch")]
+
+
+# -- topology builders ----------------------------------------------------------------
+
+
+def test_build_clos_structure():
+    net = build_clos(2, 4, hosts_per_leaf=3)
+    assert set(net.switches) == {"spine1", "spine2", "leaf1", "leaf2", "leaf3", "leaf4"}
+    assert len(net.hosts) == 12
+    assert len(_switch_links(net)) == 8  # every leaf uplinks to every spine
+
+
+def test_build_clos_validates():
+    with pytest.raises(ValueError):
+        build_clos(0, 4)
+    with pytest.raises(ValueError):
+        build_clos(2, 0)
+
+
+def test_build_campus_structure():
+    net = build_campus(3, 2, hosts_per_floor=2)
+    names = set(net.switches)
+    assert {"core1", "core2", "b1d", "b2d", "b3d"} <= names
+    assert {"b1f1", "b1f2", "b3f2"} <= names
+    assert len(names) == 2 + 3 + 3 * 2
+    assert len(net.hosts) == 3 * 2 * 2
+    # core pair + dual-homed distribution + access uplinks
+    assert len(_switch_links(net)) == 1 + 3 * 2 + 3 * 2
+
+
+def test_build_campus_validates():
+    with pytest.raises(ValueError):
+        build_campus(0, 1)
+
+
+# -- traffic matrices -----------------------------------------------------------------
+
+
+def test_uniform_random_is_reproducible_with_unique_ports():
+    hosts = [f"h{i}" for i in range(1, 9)]
+    a = TrafficMatrix.uniform_random(hosts, num_flows=20, seed=3)
+    b = TrafficMatrix.uniform_random(hosts, num_flows=20, seed=3)
+    assert a.flows == b.flows
+    assert a.flows != TrafficMatrix.uniform_random(hosts, num_flows=20, seed=4).flows
+    ports = [f.dst_port for f in a.flows]
+    assert len(set(ports)) == len(ports)  # attribution key is per-flow
+    assert a.packets_offered == 20 * 4
+    assert all(f.src != f.dst for f in a.flows)
+
+
+def test_all_pairs_is_the_dense_permutation():
+    hosts = ["h1", "h2", "h3"]
+    matrix = TrafficMatrix.all_pairs(hosts, packets_per_flow=2)
+    assert len(matrix.flows) == 6
+    assert {(f.src, f.dst) for f in matrix.flows} == {
+        (a, b) for a in hosts for b in hosts if a != b
+    }
+
+
+def test_hotspot_concentrates_on_the_hot_host():
+    hosts = [f"h{i}" for i in range(1, 9)]
+    matrix = TrafficMatrix.hotspot(hosts, "h1", num_flows=30, hot_fraction=1.0)
+    assert all(f.dst == "h1" and f.src != "h1" for f in matrix.flows)
+    with pytest.raises(ValueError):
+        TrafficMatrix.hotspot(hosts, "nope", num_flows=3)
+
+
+def test_matrix_and_replay_validate_hosts():
+    with pytest.raises(ValueError):
+        TrafficMatrix.uniform_random(["h1"], num_flows=1)
+    net = build_linear(2)
+    ghost = TrafficMatrix([TrafficFlow("h1", "ghost", 1, 0.0, 0.05, 20000)])
+    with pytest.raises(ValueError):
+        TrafficReplay(net, ghost)
+
+
+# -- replay scoring -------------------------------------------------------------------
+
+
+def test_replay_delivers_all_pairs_on_flooded_linear():
+    net = build_linear(3)
+    _flood_everything(net)
+    matrix = TrafficMatrix.all_pairs(list(net.hosts), packets_per_flow=2, spread=0.2)
+    stats = TrafficReplay(net, matrix).run(3.0)
+    assert stats.flows == 6
+    assert stats.flows_completed == 6
+    assert stats.packets_offered == 12
+    assert stats.delivery_ratio == 1.0
+
+
+def test_replay_attributes_deliveries_per_flow():
+    net = build_linear(2)
+    _flood_everything(net)
+    matrix = TrafficMatrix(
+        [
+            TrafficFlow("h1", "h2", packets=3, start=0.0, interval=0.05, dst_port=20000),
+            TrafficFlow("h2", "h1", packets=1, start=0.1, interval=0.05, dst_port=20001),
+        ]
+    )
+    replay = TrafficReplay(net, matrix)
+    stats = replay.run(2.0)
+    assert replay.delivered_for(matrix.flows[0]) == 3
+    assert replay.delivered_for(matrix.flows[1]) == 1
+    assert stats.packets_delivered == 4
+    assert stats.delivery_ratio == 1.0
+
+
+def test_replay_scores_partial_delivery():
+    net = build_linear(2)  # no flows installed: everything is dropped
+    matrix = TrafficMatrix.all_pairs(list(net.hosts), packets_per_flow=2)
+    stats = TrafficReplay(net, matrix).run(2.0)
+    assert stats.packets_delivered == 0
+    assert stats.flows_completed == 0
+    assert stats.delivery_ratio == 0.0

@@ -202,6 +202,7 @@ def test_set_validated_content_keeps_rollback_point(rig):
         attr.set_validated_content("99999")
     assert attr.read_all() == b"7"
     assert attr._last_valid == b"7"
+    lib.commit_flow("sw1", "f")  # make the hand-edited spec §3.4-visible
 
 
 def test_bulk_create_plumbs_timeouts(rig):
