@@ -1,6 +1,6 @@
-"""The analysis command line: ``python -m repro.analysis [race|yancpath|yancperf] [...]``.
+"""The analysis command line: ``python -m repro.analysis [race|yancpath|yancperf|yanccrash] [...]``.
 
-Four subcommands share one entry point:
+Five subcommands share one entry point:
 
 * ``python -m repro.analysis [paths...]`` — **yanclint**, the static
   checker (the historical default, no subcommand word needed);
@@ -12,7 +12,12 @@ Four subcommands share one entry point:
   grammar, §3.4 commit protocol, fd lifecycle);
 * ``python -m repro.analysis yancperf [paths...]`` — **yancperf**, the
   interprocedural syscall-cost analyzer (amplification findings, the
-  ``--report`` cost ranking, and ``--calibrate`` against live meters).
+  ``--report`` cost ranking, and ``--calibrate`` against live meters);
+* ``python -m repro.analysis yanccrash [paths...]`` — **yanccrash**, the
+  crash-consistency analyzer: statically, durable-effect ordering over
+  the commit/publication surfaces; with ``--explore workload.py``, the
+  crash-point model checker that replays every crash prefix of the
+  workload's durable-op trace and asserts the recovery invariants.
 
 Exit-code discipline (:class:`ExitCode`, shared by every subcommand):
 
@@ -261,6 +266,90 @@ def yancperf_main(argv: list[str]) -> int:
     )
 
 
+def build_yanccrash_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="yanccrash",
+        description="Crash-consistency analysis for the commit/publication "
+        "surfaces: a static persistence-effect pass (publish-before-data, "
+        "non-atomic-publish, commit-outside-chain, unrecovered-staging) "
+        "plus, with --explore, a crash-point model checker that replays "
+        "every crash prefix of a workload's durable-op trace.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src", "examples"], help="files or directories to analyze"
+    )
+    parser.add_argument("--json", action="store_true", help="emit findings as JSON")
+    parser.add_argument("--baseline", help="JSON findings file; only findings not in it fail the run")
+    parser.add_argument("--out", help="write the findings JSON to this file as well")
+    parser.add_argument(
+        "--explore",
+        metavar="WORKLOAD",
+        help="run this Python workload under the durable-op recorder and "
+        "model-check every crash prefix instead of analyzing sources; "
+        "positional arguments are passed to the workload",
+    )
+    return parser
+
+
+def _yanccrash_explore(args: argparse.Namespace) -> int:
+    from repro.analysis.yanccrash.explorer import explore
+    from repro.analysis.yanccrash.recorder import CrashRecorder
+
+    recorder = CrashRecorder().install()
+    saved_argv = sys.argv
+    sys.argv = [args.explore, *args.paths] if args.paths != ["src", "examples"] else [args.explore]
+    try:
+        runpy.run_path(args.explore, run_name="__main__")
+    except SystemExit as exc:
+        if exc.code not in (None, 0):
+            print(f"yanccrash: workload exited with {exc.code}", file=sys.stderr)
+            return ExitCode.INTERNAL
+    finally:
+        sys.argv = saved_argv
+        recorder.uninstall()
+    result = explore(recorder.ops)
+    recorder.reset()
+    records = [v.to_json() for v in result.violations]
+    code = report_findings(
+        "yanccrash",
+        records,
+        as_json=args.json,
+        baseline=args.baseline,
+        out=args.out,
+        key=lambda rec: (rec.get("kind", ""), rec.get("path", ""), rec.get("site", "")),
+        render=lambda rec, marker: (
+            f"yanccrash [{rec['kind']}]{marker} {rec['path']} "
+            f"@prefix={rec['prefix']}: {rec['detail']}"
+        ),
+    )
+    if not args.json:
+        print(f"yanccrash: {result.summary()}")
+    return code
+
+
+def yanccrash_main(argv: list[str]) -> int:
+    """yanccrash subcommand; returns the process exit code."""
+    args = build_yanccrash_parser().parse_args(argv)
+    if args.explore:
+        return _yanccrash_explore(args)
+    from repro.analysis.yanccrash.checker import analyze_yanccrash
+
+    findings = analyze_yanccrash(list(args.paths))
+    records = [f.__dict__ | {"severity": f.severity.label} for f in findings]
+    return report_findings(
+        "yanccrash",
+        records,
+        as_json=args.json,
+        baseline=args.baseline,
+        out=args.out,
+        key=_yancpath_key,  # same (rule, path, line) identity as yancpath
+        render=lambda rec, marker: (
+            f"{rec['path']}:{rec['line']}:{rec['col']}: "
+            f"{rec['severity']} [{rec['rule']}]{marker} {rec['message']}"
+        ),
+    )
+
+
 def lint_main(argv: list[str] | None) -> int:
     """yanclint subcommand; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -296,6 +385,8 @@ def main(argv: list[str] | None = None) -> int:
             return yancpath_main(argv[1:])
         if argv and argv[0] == "yancperf":
             return yancperf_main(argv[1:])
+        if argv and argv[0] == "yanccrash":
+            return yanccrash_main(argv[1:])
         return lint_main(argv)
     except SystemExit:
         raise  # argparse usage errors keep their exit code (2)
@@ -317,6 +408,11 @@ def yancpath_entry() -> int:
 def yancperf_entry() -> int:
     """Console-script entry: ``yancperf [paths...]``."""
     return main(["yancperf", *sys.argv[1:]])
+
+
+def yanccrash_entry() -> int:
+    """Console-script entry: ``yanccrash [paths...]``."""
+    return main(["yanccrash", *sys.argv[1:]])
 
 
 if __name__ == "__main__":

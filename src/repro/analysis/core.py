@@ -15,9 +15,11 @@ in-source comments:
   scope explicitly, overriding the path-derived default (used by test
   fixtures that live outside the real ``apps/``/``vfs/`` trees).
 
-Disable comments also accept the ``yancperf:`` prefix — rule ids are
-unique across the analysis tools, so both spellings address one shared
-suppression set and each tool only ever consults its own ids.
+Disable comments accept any registered tool prefix — rule ids are
+unique across the analysis tools, so every spelling addresses one shared
+suppression set and each tool only ever consults its own ids.  A new
+tool opts in with one :func:`register_suppression_tool` call instead of
+editing the regexes here.
 """
 
 from __future__ import annotations
@@ -28,8 +30,53 @@ import re
 from dataclasses import dataclass, field
 from typing import Iterable, Iterator
 
-_DISABLE_RE = re.compile(r"#\s*yanc(?:lint|perf):\s*disable=([\w,\-]+)")
-_DISABLE_FILE_RE = re.compile(r"#\s*yanc(?:lint|perf):\s*disable-file=([\w,\-]+)")
+#: Tool prefixes whose ``# <tool>: disable=...`` comments are honoured.
+#: ``yanclint`` and ``yancperf`` ship registered (yancpath reuses the
+#: ``yanclint`` spelling); ``yancrace``/``yanccrash`` register themselves
+#: on import of their modules.
+_SUPPRESSION_TOOLS: set[str] = {"yanclint", "yancperf"}
+
+_DISABLE_RE: re.Pattern
+_DISABLE_FILE_RE: re.Pattern
+
+
+def _rebuild_suppression_patterns() -> None:
+    alternation = "|".join(sorted(_SUPPRESSION_TOOLS))
+    global _DISABLE_RE, _DISABLE_FILE_RE
+    _DISABLE_RE = re.compile(rf"#\s*(?:{alternation}):\s*disable=([\w,\-]+)")
+    _DISABLE_FILE_RE = re.compile(rf"#\s*(?:{alternation}):\s*disable-file=([\w,\-]+)")
+
+
+def register_suppression_tool(name: str) -> str:
+    """Honour ``# <name>: disable=...`` comments; idempotent.
+
+    Call this once at tool-module import time, before any
+    :class:`SourceFile` the tool will consult is parsed.
+    """
+    if not re.fullmatch(r"[\w\-]+", name):
+        raise ValueError(f"bad suppression tool name {name!r}")
+    if name not in _SUPPRESSION_TOOLS:
+        _SUPPRESSION_TOOLS.add(name)
+        _rebuild_suppression_patterns()
+    return name
+
+
+def comment_suppresses(line: str, kind: str) -> bool:
+    """True when a source ``line``'s disable comment covers ``kind``.
+
+    The line-oriented entry point for runtime tools (yancrace) that look
+    sites up through ``linecache`` instead of parsing a whole
+    :class:`SourceFile`.
+    """
+    for match in _DISABLE_RE.finditer(line):
+        kinds = set(match.group(1).split(","))
+        if "all" in kinds or kind in kinds:
+            return True
+    return False
+
+
+_rebuild_suppression_patterns()
+
 _SCOPE_RE = re.compile(r"#\s*yanclint:\s*scope=([\w\-]+)")
 
 #: Compound statements: their bodies are *other* statements' lines, so a

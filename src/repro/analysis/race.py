@@ -60,11 +60,11 @@ from __future__ import annotations
 
 import linecache
 import os
-import re
 import sys
 from collections import deque
 from dataclasses import dataclass
 
+from repro.analysis.core import comment_suppresses, register_suppression_tool
 from repro.analysis.hb import Actor, VectorClock
 from repro.analysis.sanitizer import _FLOW_SPEC_NAMES
 from repro.vfs.errors import FsError
@@ -72,7 +72,7 @@ from repro.vfs.inode import FileInode
 from repro.vfs.syscalls import O_RDONLY, O_TRUNC, Syscalls
 from repro.yancfs.schema import CountersDir, FlowNode
 
-_DISABLE_RE = re.compile(r"#\s*yancrace:\s*disable=([\w,\-]+)")
+register_suppression_tool("yancrace")
 
 #: Frames whose filename matches one of these are substrate plumbing; the
 #: reported syscall site is the first frame outside them (app/test code).
@@ -159,11 +159,8 @@ def _site_suppressed(kind: str, *sites: str) -> bool:
             number = int(lineno)
         except ValueError:
             continue
-        match = _DISABLE_RE.search(linecache.getline(path, number))
-        if match:
-            kinds = set(match.group(1).split(","))
-            if "all" in kinds or kind in kinds:
-                return True
+        if comment_suppresses(linecache.getline(path, number), kind):
+            return True
     return False
 
 

@@ -88,6 +88,24 @@ URING_METHODS = frozenset({"submit"})
 #: ``.sc`` convention for Syscalls receivers).
 _URING_RECEIVERS = ("ring", "uring", "_uring")
 
+#: Ring submission-queue staging calls.  They are *not* kernel crossings
+#: (only ``submit`` is), but yanccrash needs to see them: a linked chain
+#: is the batched §3.4 atomicity unit, so which preps share a chain
+#: decides whether a severed chain can expose a torn flow.
+URING_PREP_METHODS = frozenset({"prep", "prep_write_file"})
+
+#: ``prep(op, ...)`` op name -> positional indices (of the *prep* call)
+#: that carry paths.
+URING_PREP_PATH_ARGS: dict[str, tuple[int, ...]] = {
+    "open": (1,),
+    "mkdir": (1,),
+    "rmdir": (1,),
+    "unlink": (1,),
+    "rename": (1, 2),
+    "symlink": (1, 2),
+    "link": (1, 2),
+}
+
 
 def syscall_method(call: ast.Call) -> str | None:
     """The syscall name when ``call``'s receiver looks like a Syscalls.
@@ -115,6 +133,19 @@ def syscall_method(call: ast.Call) -> str | None:
             return method
         if base.attr in _URING_RECEIVERS and method in URING_METHODS:
             return method
+    return None
+
+
+def uring_prep_method(call: ast.Call) -> str | None:
+    """The prep-call name when ``call``'s receiver looks like a ring."""
+    func = call.func
+    if not isinstance(func, ast.Attribute) or func.attr not in URING_PREP_METHODS:
+        return None
+    base = func.value
+    if isinstance(base, ast.Name) and base.id in _URING_RECEIVERS:
+        return func.attr
+    if isinstance(base, ast.Attribute) and base.attr in _URING_RECEIVERS:
+        return func.attr
     return None
 
 
@@ -361,6 +392,10 @@ def _anonymize(tokens: tuple) -> tuple:
 class FdInfo:
     site: ast.AST
     protected: bool = False
+    #: The judged role of the opened path ("stage"/"commit"/None): a
+    #: write/pwrite through the fd carries the same §3.4 obligation as a
+    #: write_text to the path (commit_flow commits via open + pwrite).
+    role: str | None = None
 
 
 @dataclass
@@ -378,7 +413,7 @@ class State:
         return State(
             env=dict(self.env),
             types=dict(self.types),
-            fds={k: FdInfo(v.site, v.protected) for k, v in self.fds.items()},
+            fds={k: FdInfo(v.site, v.protected, v.role) for k, v in self.fds.items()},
             staged=dict(self.staged),
             listings=set(self.listings),
             tablerows=set(self.tablerows),
@@ -467,6 +502,30 @@ class Site:
     content: object = None  # compile-time constant payload for write_text/bytes
     depth: int = 0  # loop nesting depth at the site
     loop: Optional[LoopInfo] = None  # innermost enclosing loop
+    #: Enclosing conditional arms, outermost first: ``(id(if_node), arm)``
+    #: pairs.  Two sites are program-ordered by visit order only when one
+    #: branch stack prefixes the other — sites in sibling arms are not.
+    branch: tuple = ()
+
+
+@dataclass
+class UringSite:
+    """One ring submission-queue staging call (``prep``/``prep_write_file``).
+
+    ``link`` is the chain bit: ``True``/``False`` for a compile-time
+    constant, ``None`` when dynamic (treated as chain-continuing, erring
+    toward silence).  ``content`` is the constant payload of a
+    ``prep_write_file``, when there is one.
+    """
+
+    node: ast.Call
+    op: str  # "write_file" for prep_write_file, else the prep op name
+    paths: tuple[tuple, ...]
+    link: bool | None
+    content: object = None
+    depth: int = 0
+    loop: Optional[LoopInfo] = None
+    branch: tuple = ()
 
 
 #: Calls whose first argument unwraps to the underlying iterable.
@@ -497,6 +556,7 @@ class FuncInterp:
         self.module = decl.module if decl is not None else module
         self.state = State()
         self.sites: list[Site] = []
+        self.uring_sites: list[UringSite] = []  # ring prep/prep_write_file calls
         self.op_sites: list[OpSite] = []  # every metered op, incl. fd-based
         self.rpc_sites: list[OpSite] = []  # distfs channel.call round trips
         self.calls: list[CallInfo] = []  # resolved project-internal calls
@@ -511,6 +571,7 @@ class FuncInterp:
         self._leaked: set[int] = set()
         self._uncommitted: set[int] = set()
         self._finally_closes: list[set[str]] = []
+        self._branches: list[tuple[int, str]] = []
         self._budget = _STMT_BUDGET
         self.params: tuple[str, ...] = decl.params if decl is not None else ()
 
@@ -628,9 +689,13 @@ class FuncInterp:
     def _visit_if(self, stmt: ast.If, state: State) -> None:
         self.eval(stmt.test, state)
         then_state = state.clone()
+        self._branches.append((id(stmt), "then"))
         self.visit_block(stmt.body, then_state)
+        self._branches.pop()
         else_state = state.clone()
+        self._branches.append((id(stmt), "else"))
         self.visit_block(stmt.orelse, else_state)
+        self._branches.pop()
         merged = _merge_states(then_state, else_state)
         # The §3.4 `if commit: ...commit...` idiom: a parameter guards the
         # commit.  The function's obligation becomes conditional — record
@@ -659,12 +724,14 @@ class FuncInterp:
         self.visit_block(stmt.body, body_state)
         self._finally_closes.pop()
         results = [body_state]
-        for handler in stmt.handlers:
+        for position, handler in enumerate(stmt.handlers):
             handler_state = _merge_states(state, body_state).clone()
             handler_state.returned = False
             if handler.name:
                 handler_state.env[handler.name] = P.UNKNOWN
+            self._branches.append((id(stmt), f"except{position}"))
             self.visit_block(handler.body, handler_state)
+            self._branches.pop()
             results.append(handler_state)
         merged = results[0]
         for other in results[1:]:
@@ -813,7 +880,8 @@ class FuncInterp:
         targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
         if len(targets) == 1 and isinstance(targets[0], ast.Name):
             protected = any(targets[0].id in closes for closes in self._finally_closes)
-            state.fds[targets[0].id] = FdInfo(site=value, protected=protected)
+            role = self.index.judge(self.eval(value.args[0], state)) if value.args else None
+            state.fds[targets[0].id] = FdInfo(site=value, protected=protected, role=role)
 
     def _exit(self, state: State, node, value_name: str | None) -> None:
         """A normal exit: settle §3.4 obligations and open fds."""
@@ -952,6 +1020,10 @@ class FuncInterp:
             if kw.arg is None:
                 self.eval(kw.value, state)
 
+        prep = uring_prep_method(call)
+        if prep is not None:
+            self._record_uring(call, prep, arg_tokens)
+
         method = syscall_method(call)
         if method is not None:
             self.op_sites.append(
@@ -960,6 +1032,18 @@ class FuncInterp:
         if method is not None and method in PATH_ARGS:
             self._record_site(call, method, arg_tokens, state)
             return P.UNKNOWN
+        if method in ("write", "pwrite") and call.args and isinstance(call.args[0], ast.Name):
+            # A write through an open fd stages or commits exactly as a
+            # write_text to the opened path would (§3.4): commit_flow
+            # publishes via open + pwrite so the in-place version rewrite
+            # is a single durable op.
+            fd = state.fds.get(call.args[0].id)
+            if fd is not None and fd.role == "stage":
+                state.staged[id(call)] = call
+                self.ever_staged = True
+            elif fd is not None and fd.role == "commit":
+                state.staged.clear()
+                state.committed = True
         if method == "close" and call.args and isinstance(call.args[0], ast.Name):
             state.fds.pop(call.args[0].id, None)
             return P.UNKNOWN
@@ -1014,6 +1098,7 @@ class FuncInterp:
                 content=content,
                 depth=len(self._loops),
                 loop=self._innermost(),
+                branch=tuple(self._branches),
             )
         )
         if method in _WRITE_METHODS:
@@ -1024,6 +1109,38 @@ class FuncInterp:
             elif role == "commit":
                 state.staged.clear()
                 state.committed = True
+
+    def _record_uring(self, call: ast.Call, prep: str, arg_tokens: list) -> None:
+        """Record one ring staging call for the yanccrash chain checks."""
+        content = None
+        if prep == "prep_write_file":
+            op = "write_file"
+            paths = tuple(arg_tokens[:1])
+            if len(call.args) >= 2 and isinstance(call.args[1], ast.Constant):
+                content = call.args[1].value
+        else:
+            first = call.args[0] if call.args else None
+            if not (isinstance(first, ast.Constant) and isinstance(first.value, str)):
+                return
+            op = first.value
+            indices = URING_PREP_PATH_ARGS.get(op, ())
+            paths = tuple(arg_tokens[i] for i in indices if i < len(arg_tokens))
+        link: bool | None = False
+        for kw in call.keywords:
+            if kw.arg == "link":
+                link = bool(kw.value.value) if isinstance(kw.value, ast.Constant) else None
+        self.uring_sites.append(
+            UringSite(
+                node=call,
+                op=op,
+                paths=paths,
+                link=link,
+                content=content,
+                depth=len(self._loops),
+                loop=self._innermost(),
+                branch=tuple(self._branches),
+            )
+        )
 
     def _bind_args(self, callee: FuncDecl, call: ast.Call, arg_tokens, kw_tokens) -> dict:
         bindings: dict[str, tuple] = {}
@@ -1119,6 +1236,10 @@ __all__ = [
     "Site",
     "Summary",
     "URING_METHODS",
+    "URING_PREP_METHODS",
+    "URING_PREP_PATH_ARGS",
+    "UringSite",
     "loop_variant",
     "syscall_method",
+    "uring_prep_method",
 ]

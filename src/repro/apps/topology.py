@@ -30,6 +30,7 @@ from repro.netpkt.packet import build_frame, parse_frame
 from repro.vfs.errors import FsError
 from repro.vfs.notify import EventMask
 from repro.yancfs.client import PacketInEvent, YancClient
+from repro.yancfs.recovery import sweep_staging
 from repro.apps.base import PacketInApp
 
 #: Priority of the LLDP punt flow (must beat any forwarding entry).
@@ -37,6 +38,10 @@ LLDP_FLOW_PRIORITY = 0xFFFF
 
 #: Where the incremental link add/remove delta files are published.
 DEFAULT_DELTAS_PATH = "/var/run/topology"
+
+#: Staged dot-temps under the delta spool are recovered at daemon start
+#: (a publisher that crashed between write and rename leaks its temp).
+YANCCRASH_RECOVERS = (DEFAULT_DELTAS_PATH,)
 
 #: Delta files each publisher keeps before unlinking its oldest.
 DELTA_BACKLOG = 256
@@ -143,6 +148,10 @@ class TopologyDaemon(PacketInApp):
     def on_start(self) -> None:
         if not self.sc.exists(self.deltas_path):
             self.sc.makedirs(self.deltas_path)
+        # Recovery: a predecessor that crashed between the dot-temp write
+        # and the rename left a temp no consumer will ever read; sweep it
+        # before publishing anything new.
+        sweep_staging(self.sc, self.deltas_path)
         super().on_start()
         self.every(self.beacon_interval, self.send_beacons, start_delay=0.0)
         self.every(self.link_ttl, self.prune_stale)

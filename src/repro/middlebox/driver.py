@@ -74,9 +74,17 @@ class MiddleboxDriver(Process):
             self.sc.mkdir(base)
         path = f"{base}/{device.name}"
         if not self.sc.exists(path):
-            self.sc.mkdir(path)
-        self.sc.write_text(f"{path}/type", "nat")
-        self.sc.write_text(f"{path}/public_ip", str(device.public_ip))
+            # Maildir publication, same as create_switch: assemble the
+            # device directory under a dot-temp and rename it into place,
+            # so no observer ever sees a middlebox with blank attributes.
+            tmp = f"{base}/.{device.name}"
+            self.sc.mkdir(tmp)
+            self.sc.write_text(f"{tmp}/type", "nat")
+            self.sc.write_text(f"{tmp}/public_ip", str(device.public_ip))
+            self.sc.rename(tmp, path)
+        else:
+            self.sc.write_text(f"{path}/type", "nat")
+            self.sc.write_text(f"{path}/public_ip", str(device.public_ip))
         self.devices[device.name] = device
         device.on_state_change = lambda kind, entry, name=device.name: self._on_device_change(name, kind, entry)
         self.watch(f"{path}/state", _STATE_MASK, ("state", device.name))
@@ -136,7 +144,13 @@ class MiddleboxDriver(Process):
     def _write_entry(self, mb_name: str, entry: NatEntry) -> None:
         path = self._entry_path(mb_name, entry.conn_id)
         try:
-            self.sc.mkdir(path)
+            # Deliberately non-atomic: §7.2 state entries are plain files
+            # so `cp`/`mv` can migrate them, and every reader (including
+            # _sync_entry_to_device below) guards on the required file set
+            # and completes via a later close event — a maildir rename here
+            # would miscount the IN_MOVED_TO events used to track
+            # migrations.
+            self.sc.mkdir(path)  # yanccrash: disable=non-atomic-publish
         except FileExists:
             pass
         self.sc.write_text(f"{path}/proto", _NAME_BY_PROTO.get(entry.proto, str(entry.proto)))

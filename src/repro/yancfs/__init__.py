@@ -11,6 +11,7 @@ from repro.yancfs.client import (
     YancClient,
     mount_yancfs,
 )
+from repro.yancfs.recovery import FsckReport, fsck, sweep_staging
 from repro.yancfs.schema import (
     AttributeFile,
     EventsDir,
@@ -30,9 +31,12 @@ from repro.yancfs.schema import (
 
 __all__ = [
     "FlowSpec",
+    "FsckReport",
     "PacketInEvent",
     "YancClient",
+    "fsck",
     "mount_yancfs",
+    "sweep_staging",
     "AttributeFile",
     "EventsDir",
     "FlowNode",

@@ -16,19 +16,30 @@ from repro.dataplane.actions import Action, parse_action
 from repro.dataplane.match import Match
 from repro.vfs.errors import FileNotFound
 from repro.vfs.path import clean
-from repro.vfs.syscalls import Syscalls
+from repro.vfs.syscalls import O_WRONLY, Syscalls
 from repro.yancfs.schema import YancFs
 
 if TYPE_CHECKING:
     from repro.vfs.uring import IoUring
 
 
-def mount_yancfs(sc: Syscalls, path: str = "/net") -> YancFs:
-    """Create a yanc file system and mount it at ``path`` (default /net)."""
+def mount_yancfs(sc: Syscalls, path: str = "/net", *, recover: bool = True) -> YancFs:
+    """Create a yanc file system and mount it at ``path`` (default /net).
+
+    Unless ``recover=False``, the mount runs the :func:`~repro.yancfs.recovery.fsck`
+    sweep over the freshly mounted tree: stale dot-temps and half-staged
+    (version-0) flow directories left by a crashed publisher are removed
+    before any reader sees the namespace.  A brand-new mount is empty,
+    so on the common path this costs a handful of ``scandir`` calls.
+    """
+    from repro.yancfs.recovery import fsck
+
     fs = YancFs(clock=sc.vfs.clock)
     if not sc.exists(path):
         sc.makedirs(path)
     sc.mount(path, fs, source="yanc")
+    if recover:
+        fsck(sc, path)
     return fs
 
 
@@ -233,7 +244,17 @@ class YancClient:
         """Increment the flow's ``version`` file; returns the new version."""
         path = f"{self.flow_path(switch, name)}/version"
         current = int(self.sc.read_text(path).strip() or "0")
-        self.sc.write_text(path, str(current + 1))
+        # §3.4: versions only grow, so the decimal text never shrinks and
+        # a full-width pwrite at offset 0 replaces the value in a single
+        # durable op.  The obvious ``write_text`` would open with O_TRUNC,
+        # and a crash between the truncating open and the write would
+        # leave an empty version — read back as 0, so mount-time recovery
+        # would sweep a *committed* flow as torn.
+        fd = self.sc.open(path, O_WRONLY)
+        try:
+            self.sc.pwrite(fd, str(current + 1).encode(), 0)
+        finally:
+            self.sc.close(fd)
         return current + 1
 
     def read_flow(self, switch: str, name: str) -> FlowSpec:

@@ -1,0 +1,42 @@
+# yanclint: scope=app
+"""Seeded crash-consistency defects: one per yanccrash finding kind."""
+
+#: The spool's dot-temps ARE recovered — the defects below are elsewhere.
+YANCCRASH_RECOVERS = ("/var/run/spool",)
+
+
+class TornPublisher:
+    def __init__(self, sc):
+        self.sc = sc
+
+    def writes_after_publish(self, name):
+        tmp = f"/var/run/spool/.{name}"
+        self.sc.mkdir(tmp)
+        self.sc.write_text(f"{tmp}/body", "payload")
+        dst = f"/var/run/spool/{name}"
+        self.sc.rename(tmp, dst)
+        self.sc.write_text(f"{dst}/extra", "late")  # bad: publish-before-data
+
+    def spec_after_commit(self, sw, flow):
+        base = f"/net/switches/{sw}/flows/{flow}"
+        self.sc.write_text(f"{base}/version", "1")
+        self.sc.write_text(f"{base}/match.in_port", "3")  # bad: publish-before-data
+
+    def visible_assembly(self, name):
+        out = f"/var/run/spool/{name}"
+        self.sc.mkdir(out)  # bad: non-atomic-publish
+        self.sc.write_text(f"{out}/head", "h")
+        self.sc.write_text(f"{out}/body", "b")
+
+    def severed_commit(self, sw, flow):
+        ring = self.sc.io_uring_setup(entries=64)
+        base = f"/net/switches/{sw}/flows/{flow}"
+        ring.prep("mkdir", base, link=True)
+        ring.prep_write_file(f"{base}/match.in_port", b"3", link=True)
+        ring.prep_write_file(f"{base}/action.output", b"1")  # chain ends: link omitted
+        ring.prep_write_file(f"{base}/version", b"1")  # bad: commit-outside-chain
+        ring.submit()
+
+    def stages_without_recovery(self, name):
+        self.sc.mkdir("/var/cache/other/.tmp0")  # bad: unrecovered-staging
+        self.sc.write_text("/var/cache/other/.tmp0/data", "d")

@@ -1,0 +1,52 @@
+# yanclint: scope=app
+"""The same publication shapes as the bad twin, done legally."""
+
+#: Every staging directory below is declared (and swept at startup).
+YANCCRASH_RECOVERS = ("/var/run/spool", "/var/cache/other")
+
+
+class AtomicPublisher:
+    def __init__(self, sc):
+        self.sc = sc
+
+    def maildir_publish(self, name):
+        tmp = f"/var/run/spool/.{name}"
+        self.sc.mkdir(tmp)
+        self.sc.write_text(f"{tmp}/head", "h")
+        self.sc.write_text(f"{tmp}/body", "b")
+        self.sc.rename(tmp, f"/var/run/spool/{name}")
+
+    def assemble_then_rename(self, name):
+        tmp = f"/var/run/spool/tmp_{name}"
+        self.sc.mkdir(tmp)
+        self.sc.write_text(f"{tmp}/head", "h")
+        self.sc.write_text(f"{tmp}/body", "b")
+        self.sc.rename(tmp, f"/var/run/spool/{name}")
+
+    def stage_then_commit(self, sw, flow):
+        base = f"/net/switches/{sw}/flows/{flow}"
+        self.sc.mkdir(base)
+        self.sc.write_text(f"{base}/match.in_port", "3")
+        self.sc.write_text(f"{base}/action.output", "1")
+        self.sc.write_text(f"{base}/version", "1")
+
+    def gate_with_version(self, name):
+        out = f"/var/run/spool/{name}"
+        self.sc.mkdir(out)
+        self.sc.write_text(f"{out}/head", "h")
+        self.sc.write_text(f"{out}/body", "b")
+        self.sc.write_text(f"{out}/version", "1")
+
+    def chained_commit(self, sw, flow):
+        ring = self.sc.io_uring_setup(entries=64)
+        base = f"/net/switches/{sw}/flows/{flow}"
+        ring.prep("mkdir", base, link=True)
+        ring.prep_write_file(f"{base}/match.in_port", b"3", link=True)
+        ring.prep_write_file(f"{base}/action.output", b"1", link=True)
+        ring.prep_write_file(f"{base}/version", b"1")
+        ring.submit()
+
+    def recovered_staging(self, name):
+        self.sc.mkdir(f"/var/cache/other/.{name}")
+        self.sc.write_text(f"/var/cache/other/.{name}/data", "d")
+        self.sc.rename(f"/var/cache/other/.{name}", f"/var/cache/other/{name}")

@@ -269,3 +269,44 @@ def test_cgroup_limit_throttles_without_crashing(rt):
     assert app.state is ProcState.BLOCKED
     assert table.counters.get("proc.throttled") >= 1
     assert app.last_error is not None
+
+
+# -- /proc/counters ---------------------------------------------------------------
+
+
+def test_proc_counters_exposes_machine_counters(rt):
+    sim, sc, table = rt
+    spawn_watcher(table, sim, sc)
+    text = sc.read_text("/proc/counters")
+    lines = dict(line.rsplit(" ", 1) for line in text.splitlines())
+    assert int(lines["proc.spawned"]) >= 1
+    assert all(value.isdigit() for value in lines.values())
+    assert list(lines) == sorted(lines)  # stable, sorted rendering
+
+
+def test_proc_counters_shows_shmring_overflow_drops(rt):
+    from repro.libyanc import ShmRing
+
+    sim, sc, table = rt
+    del sim
+    # A ring wired to the machine's counters, overflowed twice: the drops
+    # must be readable through the file system, not just the ring object.
+    ring = ShmRing(2, counters=sc.vfs.counters)
+    assert ring.put(b"a") and ring.put(b"b")
+    assert not ring.put(b"c") and not ring.put(b"d")
+    text = sc.read_text("/proc/counters")
+    lines = dict(line.rsplit(" ", 1) for line in text.splitlines())
+    assert lines["shm.dropped"] == "2"
+    assert lines["shm.put"] == "4"
+    assert ring.dropped == 2
+
+
+def test_proc_counters_reads_are_live(rt):
+    sim, sc, table = rt
+    del sim
+    assert "demo.widget" not in sc.read_text("/proc/counters")
+    table.counters.add("demo.widget", 3)
+    assert "demo.widget 3" in sc.read_text("/proc/counters")
+    table.counters.add("demo.widget", 2)
+    # No open fd caching: every read re-renders the current values.
+    assert "demo.widget 5" in sc.read_text("/proc/counters")

@@ -210,3 +210,28 @@ def test_cq_edge_fires_wakeup(sc, ring):
     ring.prep("mkdir", "/b")
     ring.submit()  # CQ was already non-empty: no second edge
     assert len(wakeups) == 1
+
+
+def test_severed_chain_autocloses_under_race_detector(sc, ring):
+    # YANCRACE=1 runs the suite with Syscalls methods patched by the
+    # happens-before detector; the autoclose of a severed chain goes
+    # through the same patched close and must still be billed exactly
+    # once (and must not be misread as an app-level fd access).
+    from repro.analysis.race import RaceDetector
+
+    detector = RaceDetector().install()
+    try:
+        sc.write_bytes("/f", b"x")
+        ring.prep("open", "/f", O_RDONLY, link=True)
+        ring.prep("listdir", "/missing", link=True)  # fails mid-chain
+        ring.prep("close", LINK_FD)
+        ring.submit()
+    finally:
+        detector.uninstall()
+    cqes = ring.completions()
+    assert cqes[0].ok and cqes[1].error is not None and cqes[2].canceled
+    assert not sc._fds
+    assert sc.meter.counters.get("uring.chain_autoclose") == 1
+    findings = detector.check()
+    detector.reset()
+    assert findings == []
