@@ -1,6 +1,6 @@
-"""The analysis command line: ``python -m repro.analysis [race|yancpath|yancperf|yanccrash] [...]``.
+"""The analysis command line: ``python -m repro.analysis [race|yancpath|yancperf|yanccrash|yancsec] [...]``.
 
-Five subcommands share one entry point:
+Six subcommands share one entry point:
 
 * ``python -m repro.analysis [paths...]`` — **yanclint**, the static
   checker (the historical default, no subcommand word needed);
@@ -17,7 +17,14 @@ Five subcommands share one entry point:
   crash-consistency analyzer: statically, durable-effect ordering over
   the commit/publication surfaces; with ``--explore workload.py``, the
   crash-point model checker that replays every crash prefix of the
-  workload's durable-op trace and asserts the recovery invariants.
+  workload's durable-op trace and asserts the recovery invariants;
+* ``python -m repro.analysis yancsec [paths...]`` — **yancsec**, the
+  capability & tenant-isolation analyzer: a taint-to-path lattice plus
+  per-function credential summaries judge every syscall site
+  (tainted-path, root-ambient, missing-acl, slice-escape,
+  unauthenticated-rpc); with ``--monitor workload.py``, the runtime
+  reference monitor runs the workload instead and reports isolation
+  violations plus the (uid, namespace, prefix) access tuples.
 
 Exit-code discipline (:class:`ExitCode`, shared by every subcommand):
 
@@ -350,6 +357,102 @@ def yanccrash_main(argv: list[str]) -> int:
     )
 
 
+def build_yancsec_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="yancsec",
+        description="Capability & tenant-isolation analysis: a taint "
+        "lattice over tenant-reachable reads plus per-function credential "
+        "summaries judge every syscall site (tainted-path, root-ambient, "
+        "missing-acl, slice-escape, unauthenticated-rpc); with --monitor, "
+        "a runtime reference monitor on the Syscalls choke points runs a "
+        "workload and reports isolation violations and access tuples.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src", "examples"], help="files or directories to analyze"
+    )
+    parser.add_argument("--json", action="store_true", help="emit findings as JSON")
+    parser.add_argument("--baseline", help="JSON findings file; only findings not in it fail the run")
+    parser.add_argument("--out", help="write the findings JSON to this file as well")
+    parser.add_argument(
+        "--monitor",
+        metavar="WORKLOAD",
+        help="run this Python workload under the reference monitor instead "
+        "of analyzing sources; positional arguments are passed to the "
+        "workload",
+    )
+    return parser
+
+
+def _yancsec_monitor(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.analysis.yancsec.monitor import SecurityMonitor
+
+    monitor = SecurityMonitor()
+    monitor.install()
+    saved_argv = sys.argv
+    saved_env = os.environ.get("YANCSEC")
+    os.environ["YANCSEC"] = "1"  # workload code may key optional taps off it
+    sys.argv = [args.monitor, *args.paths] if args.paths != ["src", "examples"] else [args.monitor]
+    try:
+        runpy.run_path(args.monitor, run_name="__main__")
+    except SystemExit as exc:
+        if exc.code not in (None, 0):
+            print(f"yancsec: workload exited with {exc.code}", file=sys.stderr)
+            return ExitCode.INTERNAL
+    finally:
+        sys.argv = saved_argv
+        if saved_env is None:
+            del os.environ["YANCSEC"]
+        else:
+            os.environ["YANCSEC"] = saved_env
+        monitor.uninstall()
+    records = [{"kind": f.kind, "detail": f.detail} for f in monitor.check()]
+    accesses = sorted(monitor.accesses)
+    monitor.reset()
+    code = report_findings(
+        "yancsec",
+        records,
+        as_json=args.json,
+        baseline=args.baseline,
+        out=args.out,
+        key=lambda rec: (rec.get("kind", ""), rec.get("detail", "")),
+        render=lambda rec, marker: f"yancsec [{rec['kind']}]{marker} {rec['detail']}",
+    )
+    if not args.json:
+        uids = sorted({uid for uid, _, _ in accesses})
+        print(
+            f"yancsec: {len(accesses)} access tuple(s) across "
+            f"{len(uids)} uid(s) {uids}"
+        )
+        for uid, ns, prefix in accesses:
+            print(f"  uid={uid} ns={ns or '-'} {prefix}")
+    return code
+
+
+def yancsec_main(argv: list[str]) -> int:
+    """yancsec subcommand; returns the process exit code."""
+    args = build_yancsec_parser().parse_args(argv)
+    if args.monitor:
+        return _yancsec_monitor(args)
+    from repro.analysis.yancsec.checker import analyze_yancsec
+
+    findings = analyze_yancsec(list(args.paths))
+    records = [f.__dict__ | {"severity": f.severity.label} for f in findings]
+    return report_findings(
+        "yancsec",
+        records,
+        as_json=args.json,
+        baseline=args.baseline,
+        out=args.out,
+        key=_yancpath_key,  # same (rule, path, line) identity as yancpath
+        render=lambda rec, marker: (
+            f"{rec['path']}:{rec['line']}:{rec['col']}: "
+            f"{rec['severity']} [{rec['rule']}]{marker} {rec['message']}"
+        ),
+    )
+
+
 def lint_main(argv: list[str] | None) -> int:
     """yanclint subcommand; returns the process exit code."""
     args = build_parser().parse_args(argv)
@@ -387,6 +490,8 @@ def main(argv: list[str] | None = None) -> int:
             return yancperf_main(argv[1:])
         if argv and argv[0] == "yanccrash":
             return yanccrash_main(argv[1:])
+        if argv and argv[0] == "yancsec":
+            return yancsec_main(argv[1:])
         return lint_main(argv)
     except SystemExit:
         raise  # argparse usage errors keep their exit code (2)
@@ -413,6 +518,11 @@ def yancperf_entry() -> int:
 def yanccrash_entry() -> int:
     """Console-script entry: ``yanccrash [paths...]``."""
     return main(["yanccrash", *sys.argv[1:]])
+
+
+def yancsec_entry() -> int:
+    """Console-script entry: ``yancsec [paths...]``."""
+    return main(["yancsec", *sys.argv[1:]])
 
 
 if __name__ == "__main__":

@@ -97,6 +97,8 @@ class NamespaceModel:
             "/net/middleboxes",
             "/net/middleboxes/mb1",
             "/net/middleboxes/mb1/state/e1",
+            "/net/apps",
+            "/net/apps/app_probe",
         ):
             sc.mkdir(path)
         self._cred = sc.cred
@@ -151,6 +153,83 @@ class NamespaceModel:
                     stack.append(child)
                 else:
                     yield name, child
+
+    def iter_file_nodes(self) -> Iterator[tuple[str, object]]:
+        """Every probe-tree regular file as ``(absolute path, inode)``.
+
+        The live schema nodes carry their ACLs (``inode.acl``), modes and
+        uids, so this is how yancsec reads access control straight off the
+        schema.  Nested ``views`` subtrees mirror the master classes and
+        are skipped so each schema position appears once.
+        """
+        stack: list[tuple[str, object]] = [("/net", self.root)]
+        while stack:
+            path, node = stack.pop()
+            for name, child in node.children():
+                if isinstance(child, self._DirInode):
+                    if name != "views":
+                        stack.append((f"{path}/{name}", child))
+                else:
+                    yield f"{path}/{name}", child
+
+    def match_file_nodes(self, pattern: PathPattern) -> list[tuple[str, object]]:
+        """Probe-tree files a pattern can land on, as ``(path, inode)``.
+
+        Unlike :meth:`match` this never probes ``child_factory`` — only
+        files ``populate()`` actually attached count, so the answer is the
+        set of *schema-stamped* nodes (the ones whose ACLs are schema
+        policy rather than per-creation accidents).
+        """
+        atoms = pattern.atoms
+        if pattern.anchored:
+            if not atoms:
+                return []
+            head = atoms[0]
+            if head is not STAR and head.literal is not None:
+                if head.literal not in self.root_names:
+                    return []
+                return self._file_search(atoms[1:])
+            atoms = atoms if head is STAR else (STAR,) + atoms[1:]
+        if not any(lit in self.dir_vocab for lit in pattern.literal_segments):
+            return []
+        if atoms[:1] != (STAR,):
+            atoms = (STAR,) + atoms
+        return self._file_search(atoms)
+
+    def _file_search(self, atoms: tuple) -> list[tuple[str, object]]:
+        out: list[tuple[str, object]] = []
+        self._file_match(self.root, "/net", atoms, 0, out, set(), [_STEP_CAP])
+        return out
+
+    def _file_match(self, node, path, atoms, i, out, memo, budget) -> None:
+        if budget[0] <= 0 or len(out) >= _MATCH_CAP:
+            return
+        budget[0] -= 1
+        if i == len(atoms):
+            return  # the pattern ended on a directory, not a file
+        atom = atoms[i]
+        last = i == len(atoms) - 1
+        if atom is STAR:
+            key = (id(node), i)
+            if key in memo:
+                return
+            memo.add(key)
+            self._file_match(node, path, atoms, i + 1, out, memo, budget)
+            for name, child in node.children():
+                if isinstance(child, self._DirInode):
+                    self._file_match(child, f"{path}/{name}", atoms, i, out, memo, budget)
+            return
+        for name, child in node.children():
+            if atom.literal is not None:
+                if name != atom.literal:
+                    continue
+            elif not atom.matches_name(name):
+                continue
+            if isinstance(child, self._DirInode):
+                if not last:
+                    self._file_match(child, f"{path}/{name}", atoms, i + 1, out, memo, budget)
+            elif last:
+                out.append((f"{path}/{name}", child))
 
     # -- matching ---------------------------------------------------------------------
 

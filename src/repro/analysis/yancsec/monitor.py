@@ -1,0 +1,359 @@
+"""yancsec runtime pass: a reference monitor on the ``Syscalls`` choke points.
+
+Every VFS operation in this repo funnels through a handful of ``Syscalls``
+methods — the same property the paper leans on for §5 isolation ("each
+process only needs file I/O").  With ``YANCSEC=1`` those choke points are
+tapped and three invariants are enforced while a workload runs:
+
+``root-app``
+    A process spawned in the *app* role must never execute a syscall with
+    uid 0.  Apps get per-name credentials from :func:`repro.vfs.cred.
+    app_credentials`; an app-role context running as root means ambient
+    authority leaked back in.
+
+``cross-tenant-read``
+    ``/net/apps/<name>/`` is a private home.  A non-root process whose uid
+    differs from the home owner's must not read below it.
+
+``ambient-write``
+    Writes by app-role processes must land inside a registered controller
+    tree (``/net`` by default) or a shared spool (``/var``, ``/tmp``);
+    writes into another principal's home are flagged under the same kind.
+
+The monitor also records every successful access as a ``(uid, namespace,
+path-prefix)`` tuple — the dynamic ground truth the static pass
+(:mod:`repro.analysis.yancsec.checker`) is calibrated against, exactly as
+yancrace pairs its lockset pass with the runtime detector.
+
+Batched I/O caveat: ring operations bypass the per-path ``Syscalls``
+methods, so the monitor taps ``io_uring_setup`` instead — an app-role
+context running as uid 0 is caught at ring creation, before any batched
+submission executes.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import sys
+from dataclasses import dataclass
+
+from repro.vfs.syscalls import O_CREAT, O_RDWR, O_TRUNC, O_WRONLY, Syscalls
+
+__all__ = [
+    "SecFinding",
+    "SecurityMonitor",
+    "active",
+    "enabled",
+    "install_from_env",
+    "register_root",
+    "reset_all",
+]
+
+#: Spool prefixes every host ships writable (see ``ControllerHost``).
+_SHARED_PREFIXES = ("/var", "/tmp", "/proc", "/dev")
+
+
+@dataclass(frozen=True)
+class SecFinding:
+    """One reference-monitor violation."""
+
+    kind: str
+    detail: str
+
+    def __str__(self) -> str:
+        return f"yancsec [{self.kind}] {self.detail}"
+
+
+def _prefix(path: str, depth: int = 2) -> str:
+    """The first ``depth`` components of ``path`` — the access-tuple key."""
+    parts = [p for p in path.split("/") if p]
+    return "/" + "/".join(parts[:depth])
+
+
+class SecurityMonitor:
+    """Records access tuples and flags isolation violations at runtime."""
+
+    def __init__(self) -> None:
+        #: Violations in discovery order (deduplicated by ``_seen``).
+        self.findings: list[SecFinding] = []
+        #: Successful accesses as (uid, namespace name, path prefix).
+        self.accesses: set[tuple[int, str, str]] = set()
+        self._seen: set[tuple[object, ...]] = set()
+        #: Controller mount points (``ControllerHost`` registers its own).
+        self._roots: list[str] = []
+        self._allowed: list[str] = list(_SHARED_PREFIXES)
+        #: ``/net/apps/<name>`` -> owner uid, learned from tapped chowns.
+        self._home_uids: dict[str, int] = {}
+
+    # -- lifecycle -----------------------------------------------------
+
+    def install(self) -> None:
+        """Patch the ``Syscalls`` choke points and start monitoring."""
+        _patch_once()
+        if self not in _MONITORS:
+            _MONITORS.append(self)
+
+    def uninstall(self) -> None:
+        """Stop receiving events (patches stay; they become no-ops)."""
+        if self in _MONITORS:
+            _MONITORS.remove(self)
+
+    def reset(self) -> None:
+        """Forget findings and accesses.
+
+        Registrations (roots, allowed prefixes, learned home owners) are
+        deliberately kept: hosts outlive per-test resets when built in
+        long-lived fixtures, and their mount points stay valid.
+        """
+        self.findings.clear()
+        self.accesses.clear()
+        self._seen.clear()
+
+    def check(self) -> list[SecFinding]:
+        """All violations recorded since the last :meth:`reset`."""
+        return list(self.findings)
+
+    # -- per-host registration -----------------------------------------
+
+    def register_root(self, mount_point: str) -> None:
+        """Declare ``mount_point`` a controller tree (homes live below it)."""
+        if mount_point not in self._roots:
+            self._roots.append(mount_point)
+        if mount_point not in self._allowed:
+            self._allowed.append(mount_point)
+
+    def allow_prefix(self, prefix: str) -> None:
+        """Whitelist an extra writable prefix for app-role processes."""
+        if prefix not in self._allowed:
+            self._allowed.append(prefix)
+
+    # -- event sinks (called from the patched methods) ------------------
+
+    def _emit(self, kind: str, detail: str, key: tuple[object, ...]) -> None:
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        self.findings.append(SecFinding(kind, detail))
+
+    def _home_of(self, path: str) -> tuple[str | None, int | None]:
+        for root in self._roots:
+            apps = root + "/apps/"
+            if path.startswith(apps):
+                name = path[len(apps) :].split("/", 1)[0]
+                home = apps + name
+                return home, self._home_uids.get(home)
+        return None, None
+
+    def _on_path(self, sc: Syscalls, op: str, path: str, write: bool) -> None:
+        cred = sc.cred
+        role = getattr(sc, "role", None)
+        ns_name = getattr(sc.ns, "name", "ns?")
+        self.accesses.add((cred.uid, ns_name, _prefix(path)))
+        if role == "app" and cred.uid == 0:
+            self._emit(
+                "root-app",
+                f"{op}({path}): app-role process executing as uid 0",
+                key=("root-app", op, _prefix(path)),
+            )
+        home, owner = self._home_of(path)
+        if home is not None and path != home and owner is not None and owner != cred.uid and not cred.is_root:
+            if write:
+                self._emit(
+                    "ambient-write",
+                    f"{op}({path}): uid {cred.uid} writes into {home} (owner uid {owner})",
+                    key=("home-write", home, cred.uid),
+                )
+            else:
+                self._emit(
+                    "cross-tenant-read",
+                    f"{op}({path}): uid {cred.uid} reads {home} (owner uid {owner})",
+                    key=("home-read", home, cred.uid),
+                )
+        elif write and role == "app" and not cred.is_root and not self._is_allowed(path):
+            self._emit(
+                "ambient-write",
+                f"{op}({path}): app uid {cred.uid} writes outside the controller tree and spools",
+                key=("stray-write", _prefix(path), cred.uid),
+            )
+
+    def _is_allowed(self, path: str) -> bool:
+        return any(path == p or path.startswith(p + "/") for p in self._allowed)
+
+    def _on_chown(self, sc: Syscalls, path: str, uid: int) -> None:
+        for root in self._roots:
+            apps = root + "/apps/"
+            if path.startswith(apps) and "/" not in path[len(apps) :]:
+                self._home_uids[path] = uid
+
+    def _on_uring(self, sc: Syscalls) -> None:
+        if getattr(sc, "role", None) == "app" and sc.cred.uid == 0:
+            self._emit(
+                "root-app",
+                "io_uring_setup: app-role process creating a syscall ring as uid 0",
+                key=("root-app", "io_uring_setup"),
+            )
+
+
+_MONITORS: list[SecurityMonitor] = []
+_patched = False
+
+#: (method name, is-write).  ``open`` / ``rename`` / ``symlink`` / ``chown``
+#: / ``walk`` / ``io_uring_setup`` need bespoke wrappers; ``read_text`` and
+#: friends route through ``open`` and ``makedirs`` through ``mkdir``, so
+#: tapping the primitives covers the conveniences.
+_SIMPLE_TAPS = (
+    ("listdir", False),
+    ("scandir", False),
+    ("readlink", False),
+    ("mkdir", True),
+    ("rmdir", True),
+    ("unlink", True),
+    ("truncate", True),
+    ("chmod", True),
+    ("set_acl", True),
+    ("link", True),
+)
+
+_WRITE_FLAGS = O_WRONLY | O_RDWR | O_CREAT | O_TRUNC
+
+
+def _patch_once() -> None:
+    """Wrap the ``Syscalls`` choke points (idempotent)."""
+    global _patched
+    if _patched:
+        return
+    _patched = True
+
+    def _tap(name: str, write: bool):
+        orig = getattr(Syscalls, name)
+
+        def patched(self: Syscalls, path: str, *args, **kwargs):
+            out = orig(self, path, *args, **kwargs)
+            if _MONITORS:
+                ap = self._abspath(path)
+                for mon in _MONITORS:
+                    mon._on_path(self, name, ap, write)
+            return out
+
+        patched.__name__ = name
+        patched.__doc__ = orig.__doc__
+        return patched
+
+    for name, write in _SIMPLE_TAPS:
+        setattr(Syscalls, name, _tap(name, write))
+
+    orig_open = Syscalls.open
+    orig_rename = Syscalls.rename
+    orig_symlink = Syscalls.symlink
+    orig_chown = Syscalls.chown
+    orig_walk = Syscalls.walk
+    orig_uring = Syscalls.io_uring_setup
+
+    def patched_open(self: Syscalls, path: str, flags: int = 0, mode: int = 0o644) -> int:
+        fd = orig_open(self, path, flags, mode)
+        if _MONITORS:
+            ap = self._abspath(path)
+            write = bool(flags & _WRITE_FLAGS)
+            for mon in _MONITORS:
+                mon._on_path(self, "open", ap, write)
+        return fd
+
+    def patched_rename(self: Syscalls, oldpath: str, newpath: str) -> None:
+        orig_rename(self, oldpath, newpath)
+        if _MONITORS:
+            for ap in (self._abspath(oldpath), self._abspath(newpath)):
+                for mon in _MONITORS:
+                    mon._on_path(self, "rename", ap, True)
+
+    def patched_symlink(self: Syscalls, target: str, linkpath: str) -> None:
+        orig_symlink(self, target, linkpath)
+        if _MONITORS:
+            ap = self._abspath(linkpath)
+            for mon in _MONITORS:
+                mon._on_path(self, "symlink", ap, True)
+
+    def patched_chown(self: Syscalls, path: str, uid: int, gid: int) -> None:
+        orig_chown(self, path, uid, gid)
+        if _MONITORS:
+            ap = self._abspath(path)
+            for mon in _MONITORS:
+                mon._on_chown(self, ap, uid)
+                mon._on_path(self, "chown", ap, True)
+
+    def patched_walk(self: Syscalls, path: str):
+        if _MONITORS:
+            ap = self._abspath(path)
+            for mon in _MONITORS:
+                mon._on_path(self, "walk", ap, False)
+        return orig_walk(self, path)
+
+    def patched_uring(self: Syscalls, entries: int = 256):
+        ring = orig_uring(self, entries)
+        for mon in _MONITORS:
+            mon._on_uring(self)
+        return ring
+
+    Syscalls.open = patched_open  # type: ignore[method-assign]
+    Syscalls.rename = patched_rename  # type: ignore[method-assign]
+    Syscalls.symlink = patched_symlink  # type: ignore[method-assign]
+    Syscalls.chown = patched_chown  # type: ignore[method-assign]
+    Syscalls.walk = patched_walk  # type: ignore[method-assign]
+    Syscalls.io_uring_setup = patched_uring  # type: ignore[method-assign]
+
+
+_env_monitor: SecurityMonitor | None = None
+
+
+def enabled() -> bool:
+    """True when the ``YANCSEC`` environment variable asks for monitoring."""
+    return os.environ.get("YANCSEC", "") not in ("", "0")
+
+
+def install_from_env() -> SecurityMonitor | None:
+    """Install (once) the process-wide monitor when ``YANCSEC=1``.
+
+    Outside pytest (whose autouse fixture checks after every test), an
+    atexit hook reports any violations still recorded at teardown.
+    """
+    global _env_monitor
+    if not enabled():
+        return None
+    if _env_monitor is None:
+        _env_monitor = SecurityMonitor()
+        _env_monitor.install()
+        atexit.register(_report_at_exit)
+    return _env_monitor
+
+
+def _report_at_exit() -> None:
+    mon = _env_monitor
+    if mon is None:
+        return
+    findings = mon.check()
+    if findings:
+        print(f"yancsec: {len(findings)} violation(s) at teardown", file=sys.stderr)
+        for finding in findings:
+            print(f"  {finding}", file=sys.stderr)
+
+
+def active() -> SecurityMonitor | None:
+    """The environment-driven monitor, if one is installed."""
+    return _env_monitor
+
+
+def register_root(mount_point: str) -> None:
+    """Declare ``mount_point`` a controller tree on every installed monitor.
+
+    Hosts call this so that *all* observers — the env-driven monitor and
+    any explicitly installed one (e.g. the CLI's ``--monitor`` pass) —
+    agree on where homes live and where app writes are legitimate.
+    """
+    for mon in _MONITORS:
+        mon.register_root(mount_point)
+
+
+def reset_all() -> None:
+    """Clear state on every installed monitor (test isolation)."""
+    for mon in _MONITORS:
+        mon.reset()

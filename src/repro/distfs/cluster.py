@@ -16,6 +16,7 @@ from repro.distfs.rpc import RpcChannel
 from repro.distfs.server import FileServer
 from repro.runtime import ControllerHost
 from repro.sim import Simulator
+from repro.vfs.cred import Credentials
 from repro.vfs.syscalls import Syscalls
 from repro.vfs.vfs import VirtualFileSystem
 from repro.yancfs.client import YancClient
@@ -65,19 +66,25 @@ class ControllerCluster:
         self.rpc_latency = rpc_latency
         self.consistency = consistency
         self.cache_ttl = cache_ttl
-        self.server = FileServer(master.process(), master.mount_point)
+        self.server = FileServer(master.process(name="fileserverd", role="driver"), master.mount_point)
         self.workers: list[WorkerMachine] = []
 
-    def add_worker(self, name: str = "") -> WorkerMachine:
-        """Boot a worker machine and mount the master's /net on it."""
+    def add_worker(self, name: str = "", *, cred: Credentials | None = None) -> WorkerMachine:
+        """Boot a worker machine and mount the master's /net on it.
+
+        ``cred`` is the identity the worker authenticates to the master
+        with (default: root — an admin box).  The file server executes
+        every RPC under it, so a tenant worker stays a tenant remotely.
+        """
         name = name or f"worker{len(self.workers) + 1}"
         vfs = VirtualFileSystem(clock=lambda: self.sim.now)
-        sc = Syscalls(vfs)
+        sc = Syscalls(vfs, cred=cred) if cred is not None else Syscalls(vfs)
         channel = RpcChannel(
             self.server.handle,
             latency=self.rpc_latency,
             counters=vfs.counters,
             name=name,
+            cred=sc.cred,
         )
         fs = RemoteFs(
             channel,

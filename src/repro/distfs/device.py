@@ -28,6 +28,7 @@ from repro.distfs.rpc import RpcChannel
 from repro.distfs.server import FileServer
 from repro.proc.process import Process
 from repro.runtime import ControllerHost
+from repro.vfs.cred import driver_credentials
 from repro.vfs.syscalls import Syscalls
 from repro.vfs.errors import FileExists, FsError
 from repro.vfs.vfs import VirtualFileSystem
@@ -60,9 +61,17 @@ class DeviceRuntime(Process):
         self.switch = switch
         self.master = master
         self.poll_interval = poll_interval
-        self.server = server if server is not None else FileServer(master.process(), master.mount_point)
+        self.server = server if server is not None else FileServer(master.process(name="fileserverd", role="driver"), master.mount_point)
         self.vfs = vfs
-        self.channel = RpcChannel(self.server.handle, latency=rpc_latency, counters=self.vfs.counters, name=f"dev-{switch.name}")
+        # The agent authenticates to the master as a driver: it owns and
+        # populates its own switch subtree, nothing else.
+        self.channel = RpcChannel(
+            self.server.handle,
+            latency=rpc_latency,
+            counters=self.vfs.counters,
+            name=f"dev-{switch.name}",
+            cred=driver_credentials(f"dev-{switch.name}"),
+        )
         self.fs = RemoteFs(self.channel, consistency=consistency, clock=lambda: self.sim.now)
         self.sc.mkdir("/net")
         self.sc.mount("/net", self.fs, source="master:/net")

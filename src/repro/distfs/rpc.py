@@ -14,7 +14,8 @@ from __future__ import annotations
 from typing import Any, Callable
 
 from repro.perf.counters import PerfCounters
-from repro.vfs.errors import TimedOut
+from repro.vfs.cred import Credentials
+from repro.vfs.errors import NotPermitted, PermissionDenied, TimedOut
 
 #: Observers called as ``tap("send", channel)`` before the handler runs
 #: and ``tap("recv", channel)`` after it returns (or raises).  Used by
@@ -39,12 +40,13 @@ class RpcChannel:
 
     def __init__(
         self,
-        handler: Callable[[str, tuple], Any],
+        handler: Callable[..., Any],
         *,
         latency: float = 2e-4,
         bandwidth: float = 1.25e9,  # bytes/second (10 Gb/s)
         counters: PerfCounters | None = None,
         name: str = "",
+        cred: Credentials | None = None,
     ) -> None:
         if latency < 0:
             raise ValueError("latency must be >= 0")
@@ -53,6 +55,11 @@ class RpcChannel:
         self.bandwidth = bandwidth
         self.counters = counters or PerfCounters()
         self.name = name
+        #: The client's identity, sent with every call (AUTH_SYS style):
+        #: the server executes each operation under these credentials, not
+        #: its own.  ``None`` keeps legacy anonymous channels working —
+        #: the server then falls back to its own (least-privilege) creds.
+        self.cred = cred
         self.time_spent = 0.0
         self.calls = 0
         self.bytes_moved = 0
@@ -63,16 +70,20 @@ class RpcChannel:
         if not self.connected:
             raise TimedOut(detail=f"rpc channel {self.name} is down")
         payload = sum(len(a) for a in args if isinstance(a, (bytes, str)))
-        if _call_taps:
-            for tap in _call_taps:
-                tap("send", self)
-            try:
-                result = self.handler(op, args)
-            finally:
+        try:
+            if _call_taps:
                 for tap in _call_taps:
-                    tap("recv", self)
-        else:
-            result = self.handler(op, args)
+                    tap("send", self)
+                try:
+                    result = self.handler(op, args, self.cred)
+                finally:
+                    for tap in _call_taps:
+                        tap("recv", self)
+            else:
+                result = self.handler(op, args, self.cred)
+        except (PermissionDenied, NotPermitted):
+            self.counters.add("distfs.rpc_denied")
+            raise
         returned = len(result) if isinstance(result, (bytes, str)) else 64
         moved = payload + returned
         self.calls += 1

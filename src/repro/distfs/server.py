@@ -9,6 +9,7 @@ computational workload among multiple machines").
 from __future__ import annotations
 
 from repro.proc.process import Process
+from repro.vfs.cred import Credentials
 from repro.vfs.errors import FsError, InvalidArgument
 from repro.vfs.syscalls import Syscalls
 
@@ -29,6 +30,10 @@ class FileServer(Process):
         #: bottleneck that makes distributed-controller scaling sub-linear.
         self.service_time = service_time
         self.busy_time = 0.0
+        #: Per-caller syscall contexts (memoized): each remote identity
+        #: gets its own ``Syscalls`` so VFS permission checks see the
+        #: *caller's* uid, never the server daemon's.
+        self._caller_scs: dict[Credentials, Syscalls] = {}
         self.start()
 
     def _resolve(self, rpath: str) -> str:
@@ -37,14 +42,34 @@ class FileServer(Process):
         rpath = rpath.strip("/")
         return f"{self.export_root}/{rpath}" if rpath else self.export_root
 
-    def handle(self, op: str, args: tuple) -> object:
-        """The RPC entry point (FsError propagates to the client)."""
+    def _sc_for(self, cred: Credentials | None) -> Syscalls:
+        if cred is None or cred == self.sc.cred:
+            return self.sc
+        sc = self._caller_scs.get(cred)
+        if sc is None:
+            sc = self.sc.spawn(cred=cred)
+            self._caller_scs[cred] = sc
+        return sc
+
+    def handle(self, op: str, args: tuple, cred: Credentials | None = None) -> object:
+        """The RPC entry point (FsError propagates to the client).
+
+        ``cred`` is the caller's identity from the channel; every
+        operation executes under it, so ACLs and mode bits bind remote
+        admins and remote tenants exactly as they would local ones.
+        Anonymous calls (``cred=None``) run as the server's own user.
+        """
         self.ops_served += 1
         self.busy_time += self.service_time
         method = getattr(self, f"op_{op}", None)
         if method is None:
             raise InvalidArgument(op, "unknown remote-fs operation")
-        return method(*args)
+        saved = self.sc
+        self.sc = self._sc_for(cred)
+        try:
+            return method(*args)
+        finally:
+            self.sc = saved
 
     # -- operations ----------------------------------------------------------------
 

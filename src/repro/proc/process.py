@@ -418,6 +418,7 @@ def _render_status(proc: Process) -> str:
     lines = [
         f"Name:\t{proc.proc_name}",
         f"Pid:\t{proc.pid}",
+        f"Uid:\t{proc.sc.cred.uid if proc.sc is not None else 0}",
         f"State:\t{proc.state.value}",
         f"Crashes:\t{proc.crashes}",
         f"Restarts:\t{proc.restarts}",
@@ -529,6 +530,10 @@ class ProcessTable:
     def charge_cpu(self, proc: Process, syscall_delta: int) -> None:
         """Bill one scheduled run: dispatch overhead plus syscall time."""
         cpu = self.model.syscall_time(syscall_delta) + 2 * self.model.ctxsw_cost
+        if syscall_delta and proc.sc is not None:
+            # Per-uid accounting: the quota view item-4 will meter against,
+            # and what makes the reference monitor's picture shell-readable.
+            self.counters.add(f"uid.{proc.sc.cred.uid}.syscalls", syscall_delta)
         try:
             self.cgroups.charge(self._cg_key(proc), "cpu", cpu)
             if syscall_delta:

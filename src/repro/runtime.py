@@ -13,11 +13,11 @@ from repro.drivers import OF10_VERSION, OpenFlowDriver
 from repro.perf.meter import SyscallMeter
 from repro.proc.process import Process, ProcessTable
 from repro.sim import Simulator
-from repro.vfs.cred import ROOT, Credentials
+from repro.vfs.cred import ROOT, Credentials, app_credentials, driver_credentials
 from repro.vfs.syscalls import Syscalls
 from repro.vfs.vfs import VirtualFileSystem
 from repro.yancfs.client import YancClient, mount_yancfs
-from repro.yancfs.schema import YancFs
+from repro.yancfs.schema import ACL_COLLAB_DIR, YancFs
 
 
 class ControllerHost:
@@ -28,11 +28,19 @@ class ControllerHost:
     syscall meter, a cgroup slot, and a ``/proc/<pid>`` directory — all
     against the shared tree, exactly the multi-process, multi-language
     story of the paper (each process only needs file I/O).
+
+    Least privilege is the default (§5.1): unless the caller passes an
+    explicit ``cred``, every spawned process gets distinct non-root
+    credentials (a stable per-name uid in the shared ``apps`` group) and a
+    private home at ``/net/apps/<name>/`` stamped with a matching ACL.
     """
 
     def __init__(self, sim: Simulator | None = None, *, name: str = "ctl", mount_point: str = "/net") -> None:
         sanitizer.install_from_env()  # no-op unless YANCSAN=1
         race.install_from_env()  # no-op unless YANCRACE=1
+        from repro.analysis.yancsec import monitor as secmon
+
+        secmon.install_from_env()  # no-op unless YANCSEC=1
         self.sim = sim or Simulator()
         self.name = name
         self.vfs = VirtualFileSystem(clock=lambda: self.sim.now)
@@ -40,17 +48,59 @@ class ControllerHost:
         self.mount_point = mount_point
         self.fs: YancFs = mount_yancfs(self.root_sc, mount_point)
         self.procs = ProcessTable(self.root_sc, self.sim)
+        self._anon_apps = 0
         with self.root_sc.meter.pause():  # host assembly, not app traffic
             self.root_sc.makedirs("/proc")
             self.root_sc.mount("/proc", self.procs.procfs, source="proc")
+            # Standard writable spools, like an OS image would ship: apps
+            # and drivers log/spool here without ambient root authority.
+            for spool in ("/var", "/var/log", "/var/run", "/tmp"):
+                self.root_sc.makedirs(spool)
+                self.root_sc.set_acl(spool, ACL_COLLAB_DIR)
+        # Fan out to every installed monitor, not just the env-driven one:
+        # the CLI's --monitor pass installs its own observer.
+        secmon.register_root(mount_point)
 
-    def process(self, *, cred: Credentials = ROOT, meter: SyscallMeter | None = None, name: str = "") -> Process:
-        """Spawn an application process on this host (PID assigned)."""
-        return self.procs.spawn(cred=cred, meter=meter, name=name)
+    def process(
+        self,
+        *,
+        cred: Credentials | None = None,
+        meter: SyscallMeter | None = None,
+        name: str = "",
+        role: str = "app",
+    ) -> Process:
+        """Spawn an application process on this host (PID assigned).
 
-    def client(self, *, cred: Credentials = ROOT, meter: SyscallMeter | None = None) -> YancClient:
+        Without an explicit ``cred`` the process runs under per-name
+        non-root credentials; passing ``cred=ROOT`` marks an *admin*
+        process (the reference monitor holds apps, not admins, to the
+        no-uid-0 rule).
+        """
+        if cred is None:
+            if not name:
+                self._anon_apps += 1
+                principal = f"{role}{self._anon_apps}"
+            else:
+                principal = name
+            cred = driver_credentials(principal) if role == "driver" else app_credentials(principal)
+            self._ensure_home(principal, cred)
+        elif cred.is_root:
+            role = "admin"
+        proc = self.procs.spawn(cred=cred, meter=meter, name=name)
+        proc.sc.role = role
+        return proc
+
+    def _ensure_home(self, principal: str, cred: Credentials) -> None:
+        """Create ``/net/apps/<principal>/`` owned by the app's uid."""
+        home = f"{self.mount_point}/apps/{principal}"
+        with self.root_sc.meter.pause():
+            if not self.root_sc.exists(home):
+                self.root_sc.makedirs(home)
+                self.root_sc.chown(home, cred.uid, cred.gid)
+
+    def client(self, *, cred: Credentials | None = None, meter: SyscallMeter | None = None, name: str = "") -> YancClient:
         """Spawn a process and wrap it in a :class:`YancClient`."""
-        return YancClient(self.process(cred=cred, meter=meter), self.mount_point)
+        return YancClient(self.process(cred=cred, meter=meter, name=name), self.mount_point)
 
 
 class YancController:
@@ -67,7 +117,7 @@ class YancController:
     def add_driver(self, *, version: int = OF10_VERSION, stats_interval: float = 1.0) -> OpenFlowDriver:
         """Start a driver process for one protocol version."""
         driver = OpenFlowDriver(
-            self.host.process(),
+            self.host.process(name=f"of{version}d", role="driver"),
             self.sim,
             version=version,
             stats_interval=stats_interval,
@@ -96,9 +146,9 @@ class YancController:
         """Advance simulated time."""
         return self.sim.run_for(duration)
 
-    def client(self, *, cred: Credentials = ROOT, meter: SyscallMeter | None = None) -> YancClient:
+    def client(self, *, cred: Credentials | None = None, meter: SyscallMeter | None = None, name: str = "") -> YancClient:
         """An application-side client on the controller host."""
-        return self.host.client(cred=cred, meter=meter)
+        return self.host.client(cred=cred, meter=meter, name=name)
 
     def fs_name_of(self, switch_name: str) -> str:
         """The FS directory name a dataplane switch appears under.

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 
 from repro.vfs.errors import InvalidArgument
@@ -36,3 +37,43 @@ class Credentials:
 
 #: The superuser.
 ROOT = Credentials(uid=0, gid=0)
+
+#: Shared group for controller applications (clients, daemons, slicers).
+APPS_GID = 100
+
+#: Shared group for protocol drivers (OpenFlow, middlebox, distfs servers).
+DRIVERS_GID = 60
+
+#: Where stable per-name uids land (app names hash into this range).
+APP_UID_BASE = 10000
+_APP_UID_SPAN = 49999
+
+#: Driver uids live below apps, above the static system range.
+DRIVER_UID_BASE = 200
+_DRIVER_UID_SPAN = 499
+
+
+def _stable_uid(name: str, base: int, span: int) -> int:
+    """A deterministic uid for ``name`` — same name, same uid, every run."""
+    return base + zlib.crc32(name.encode()) % span
+
+
+def app_credentials(name: str) -> Credentials:
+    """Least-privilege credentials for the application ``name`` (§5.1).
+
+    Every app gets a distinct non-root uid (stable per name) plus
+    membership in the shared ``apps`` group the yancfs schema grants
+    collaboration surfaces (flows, events, hosts, views) to.
+    """
+    uid = _stable_uid(name, APP_UID_BASE, _APP_UID_SPAN)
+    return Credentials(uid=uid, gid=APPS_GID, groups=frozenset({APPS_GID}))
+
+
+def driver_credentials(name: str) -> Credentials:
+    """Least-privilege credentials for the driver ``name``.
+
+    Drivers own switch subtrees; the ``drivers`` group is what the schema
+    ACLs grant switch creation and counter/event delivery rights to.
+    """
+    uid = _stable_uid(name, DRIVER_UID_BASE, _DRIVER_UID_SPAN)
+    return Credentials(uid=uid, gid=DRIVERS_GID, groups=frozenset({DRIVERS_GID}))

@@ -1,0 +1,42 @@
+# yanclint: scope=app
+"""Seeded isolation mistakes — every yancsec kind must fire here."""
+
+from repro.distfs.rpc import RpcChannel
+from repro.vfs.syscalls import Syscalls
+
+
+class LeakyApp:
+    def __init__(self, sc):
+        self.sc = sc
+
+    def follow_tenant_data(self, sw):
+        # Tenant-controlled attribute flows straight into a path: whoever
+        # authored the switch id picks which host record gets rewritten.
+        owner = self.sc.read_text(f"/net/switches/{sw}/id")
+        self.sc.write_text(f"/net/hosts/{owner}/owner", "claimed")  # bad: tainted-path
+
+    def forward_payload(self, sw, app, msg):
+        payload = self.sc.read_text(f"/net/switches/{sw}/events/{app}/{msg}/data")
+        self.sc.channel.call("write", payload.strip(), b"x")  # bad: tainted-path
+
+    def publish_ip(self, mb, ip):
+        # public_ip carries no schema ACL: only the creating driver uid can
+        # write it, so this app-side publish silently relies on root.
+        self.sc.write_text(f"/net/middleboxes/{mb}/public_ip", ip)  # bad: missing-acl
+
+    def peek_master(self, root, sw):
+        # Inside a shared namespace `..` climbs out of the slice root.
+        return self.sc.read_text(f"{root}/../switches/{sw}/id")  # bad: slice-escape
+
+
+def rogue_setup(vfs):
+    # Ambient root: the receiver was built without credentials, so every
+    # mutation below runs as uid 0 where ACLs would grant a per-app uid.
+    sc = Syscalls(vfs)
+    sc.write_text("/net/switches/s1/id", "spoofed")  # bad: root-ambient
+    return sc
+
+
+def open_channel(server):
+    # No cred= — every op the channel carries runs as the *server*.
+    return RpcChannel(server.handle)  # bad: unauthenticated-rpc

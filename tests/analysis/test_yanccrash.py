@@ -9,7 +9,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.analysis import sanitizer
+from repro.analysis import race, sanitizer
 from repro.analysis import yanccrash as yc
 from repro.analysis.cli import ExitCode, main
 from repro.analysis.core import SourceFile
@@ -235,8 +235,10 @@ def test_explorer_flags_spec_write_after_commit():
         sc.write_text("/net/switches/s1/flows/f1/match.in_port", "4")
 
     result = explore(_record(workload))
-    # The uncommitted spec rewrite is deliberate; yancsan flags it too.
+    # The uncommitted spec rewrite is deliberate; yancsan and yancrace
+    # flag it too (live run and replay).
     sanitizer.reset_all()
+    race.reset_all()
     assert any(v.kind == "spec-after-commit" for v in result.violations)
 
 

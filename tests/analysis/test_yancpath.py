@@ -165,7 +165,7 @@ def test_console_scripts_resolve():
     text = (HERE.parents[1] / "pyproject.toml").read_text()
     section = text.split("[project.scripts]", 1)[1].split("[", 1)[0]
     entries = dict(re.findall(r'(\w+)\s*=\s*"([\w.:]+)"', section))
-    assert set(entries) == {"yanclint", "yancrace", "yancpath", "yancperf", "yanccrash"}
+    assert set(entries) == {"yanclint", "yancrace", "yancpath", "yancperf", "yanccrash", "yancsec"}
     for target in entries.values():
         module, func = target.split(":")
         assert callable(getattr(importlib.import_module(module), func))

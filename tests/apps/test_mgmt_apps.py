@@ -73,7 +73,7 @@ def test_firewall_config_file(linear_controller):
     ctl = linear_controller
     sc = ctl.host.process()
     sc.write_text(
-        "/etc-firewall.conf",
+        "/tmp/firewall.conf",
         """
         [no-ssh]
         match.dl_type = 0x800
@@ -85,7 +85,7 @@ def test_firewall_config_file(linear_controller):
         match.tp_dst = 23
         """,
     )
-    fw = Firewall(sc, ctl.sim, config_path="/etc-firewall.conf").start()
+    fw = Firewall(sc, ctl.sim, config_path="/tmp/firewall.conf").start()
     ctl.run(0.3)
     assert len(fw.rules) == 2
     assert len(ctl.net.switches["sw1"].table) == 2

@@ -55,9 +55,9 @@ def test_static_flow_pusher_everywhere(linear_controller):
 def test_static_flow_pusher_from_file(linear_controller):
     ctl = linear_controller
     sc = ctl.host.process()
-    sc.write_text("/etc-flow.conf", "match.dl_type=0x806\naction.out=controller\npriority=60")
+    sc.write_text("/tmp/flow.conf", "match.dl_type=0x806\naction.out=controller\npriority=60")
     pusher = StaticFlowPusher(sc)
-    pusher.push_from_file("sw2", "arp_punt", "/etc-flow.conf")
+    pusher.push_from_file("sw2", "arp_punt", "/tmp/flow.conf")
     ctl.run(0.2)
     assert len(ctl.net.switches["sw2"].table) == 1
 

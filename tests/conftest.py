@@ -5,6 +5,7 @@ from __future__ import annotations
 import pytest
 
 from repro.analysis import race, sanitizer
+from repro.analysis.yancsec import monitor as yancsec_monitor
 from repro.runtime import YancController
 from repro.sim import Simulator
 from repro.vfs.syscalls import Syscalls
@@ -42,6 +43,22 @@ def yancrace_check():
     findings = det.check()
     det.reset()
     assert not findings, "yancrace findings:\n" + "\n".join(str(f) for f in findings)
+
+
+@pytest.fixture(autouse=True)
+def yancsec_check():
+    """With YANCSEC=1, run every test under the reference monitor and fail
+    it on any isolation violation (app running as root, cross-tenant read,
+    ambient write outside the controller tree)."""
+    mon = yancsec_monitor.install_from_env()
+    if mon is None:
+        yield
+        return
+    mon.reset()
+    yield
+    findings = mon.check()
+    mon.reset()
+    assert not findings, "yancsec findings:\n" + "\n".join(str(f) for f in findings)
 
 
 @pytest.fixture

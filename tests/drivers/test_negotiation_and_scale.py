@@ -14,7 +14,7 @@ def test_of13_driver_and_agent_settle_on_of13():
     switch = net.add_switch("s")
     switch.add_port(1)
     host = ControllerHost(sim)
-    driver = OpenFlowDriver(host.process(), sim, version=OF13_VERSION)
+    driver = OpenFlowDriver(host.process(role="driver"), sim, version=OF13_VERSION)
     binding = driver.attach_switch(switch)
     sim.run_for(0.1)
     assert binding.version == OF13_VERSION
@@ -31,7 +31,7 @@ def test_of10_driver_with_of13_agent_settles_on_of10():
     net = Network(sim)
     switch = net.add_switch("s")
     host = ControllerHost(sim)
-    driver = OpenFlowDriver(host.process(), sim, version=OF10_VERSION)
+    driver = OpenFlowDriver(host.process(role="driver"), sim, version=OF10_VERSION)
     binding = driver.attach_switch(switch)
     sim.run_for(0.1)
     assert binding.version == OF10_VERSION

@@ -37,7 +37,7 @@ def test_remote_find_grep_oneliner(remote_admin):
 def test_remote_tree(remote_admin):
     _ctl, shell, _worker = remote_admin
     out = shell.run("tree /net -L 1")
-    assert [line.split()[-1] for line in out.splitlines()[1:]] == ["hosts", "switches", "views"]
+    assert [line.split()[-1] for line in out.splitlines()[1:]] == ["apps", "hosts", "switches", "views"]
 
 
 def test_remote_echo_configures_hardware(remote_admin):

@@ -1,0 +1,145 @@
+"""Slice-escape attempts and §3.4 commit-surface ACLs, pinned as regressions.
+
+The yancsec static pass flags ``..`` in view paths and ambient-authority
+writes; these tests pin the *runtime* half of the contract: the namespace
+jail actually rejects every escape route, and the version/spec files only
+accept writes from the principals the schema intends.
+"""
+
+import pytest
+
+from repro.dataplane import Match, Output, build_linear
+from repro.runtime import YancController
+from repro.vfs import Credentials, FileNotFound, FsError, PermissionDenied
+from repro.views import Slicer, grant_view, tenant_process
+from repro.yancfs import YancClient
+
+TENANT = Credentials(uid=1500, gid=1500)
+OTHER = Credentials(uid=1501, gid=1501)
+
+
+@pytest.fixture
+def sliced():
+    ctl = YancController(build_linear(3)).start()
+    Slicer(ctl.host.process(), ctl.sim, view="v", switches=["sw1"], headerspace=Match(dl_vlan=5)).start()
+    ctl.run(0.2)
+    grant_view(ctl.host.root_sc, "/net/views/v", TENANT.uid, TENANT.gid)
+    return ctl, tenant_process(ctl.host.vfs, "/net/views/v", TENANT)
+
+
+# -- `..` escapes ---------------------------------------------------------------------
+
+
+def test_dotdot_cannot_reach_master_switches(sliced):
+    _ctl, tenant = sliced
+    # sw2 exists in the master tree but not in the slice; every `..`
+    # spelling of its path must resolve inside the jail and miss.
+    for path in (
+        "/net/../net/switches/sw2/id",
+        "/net/switches/../switches/sw2/id",
+        "/../../net/switches/sw2/id",
+        "/net/switches/sw1/../sw2/id",
+    ):
+        with pytest.raises(FileNotFound):
+            tenant.read_text(path)
+
+
+def test_dotdot_clamps_at_namespace_root(sliced):
+    _ctl, tenant = sliced
+    # Climbing above / lands back at the jail root, not the master root:
+    # the listing is the view's, so the master 'views' subtree is empty.
+    assert tenant.listdir("/../..") == tenant.listdir("/")
+    assert tenant.listdir("/net/views") == []
+
+
+def test_dotdot_write_cannot_escape(sliced):
+    ctl, tenant = sliced
+    with pytest.raises(FsError):
+        tenant.write_text("/net/switches/sw1/../../../switches/sw2/id", "pwn")
+    assert ctl.host.root_sc.read_text("/net/switches/sw2/id") != "pwn"
+
+
+# -- symlink escapes ------------------------------------------------------------------
+
+
+def test_schema_refuses_symlinks_in_switch_dirs(sliced):
+    _ctl, tenant = sliced
+    # First line of defense: switch subtrees accept no symlinks at all.
+    with pytest.raises(FsError):
+        tenant.symlink("/net/switches/sw2", "/net/switches/sw1/sneak")
+
+
+@pytest.fixture
+def scratch(sliced):
+    ctl, tenant = sliced
+    ctl.host.root_sc.makedirs("/tmp/scratch")
+    ctl.host.root_sc.chmod("/tmp/scratch", 0o777)
+    return ctl, tenant
+
+
+def test_absolute_symlink_resolves_in_jail(scratch):
+    _ctl, tenant = scratch
+    # An absolute target re-walks from the *tenant's* root, where the
+    # view shadows /net: the master switch set does not exist there.
+    tenant.symlink("/net/switches/sw2/id", "/tmp/scratch/sneak")
+    with pytest.raises(FileNotFound):
+        tenant.read_text("/tmp/scratch/sneak")
+
+
+def test_relative_symlink_climb_stays_in_jail(scratch):
+    _ctl, tenant = scratch
+    tenant.symlink("../../../../net/switches/sw2/id", "/tmp/scratch/climb")
+    with pytest.raises(FileNotFound):
+        tenant.read_text("/tmp/scratch/climb")
+
+
+def test_symlink_to_granted_subtree_still_works(scratch):
+    _ctl, tenant = scratch
+    # The jail rejects escapes, not symlinks: an in-slice target is fine.
+    tenant.symlink("/net/switches/sw1/id", "/tmp/scratch/alias")
+    assert tenant.read_text("/tmp/scratch/alias") == tenant.read_text("/net/switches/sw1/id")
+
+
+# -- §3.4 commit-surface ACLs ---------------------------------------------------------
+
+
+@pytest.fixture
+def flowed():
+    ctl = YancController(build_linear(2)).start()
+    owner = ctl.host.process(name="owner")
+    YancClient(owner.sc).create_flow("sw1", "f1", Match(in_port=1), [Output(2)], priority=5)
+    return ctl, owner
+
+
+def test_version_file_writable_only_by_owner(flowed):
+    ctl, owner = flowed
+    version = "/net/switches/sw1/flows/f1/version"
+    other = ctl.host.process(name="other")
+    # Same `apps` group, world-readable — but commit authority is the
+    # creating uid's alone (no ACL on version is deliberate policy).
+    assert other.sc.read_text(version) is not None
+    with pytest.raises(PermissionDenied):
+        other.sc.write_text(version, "9")
+    owner.sc.write_text(version, "2")
+    assert ctl.host.root_sc.read_text(version) == "2"
+
+
+def test_spec_files_writable_only_by_owner(flowed):
+    ctl, _owner = flowed
+    other = ctl.host.process(name="other")
+    with pytest.raises(PermissionDenied):
+        other.sc.write_text("/net/switches/sw1/flows/f1/match.in_port", "7")
+    assert ctl.host.root_sc.read_text("/net/switches/sw1/flows/f1/match.in_port") == "1"
+
+
+def test_foreign_app_cannot_delete_flow(flowed):
+    # Regression for the sticky flow dirs: the collab ACL lets any app
+    # *create* flows, but retracting another principal's staged spec or
+    # committed version is owner-only (like /tmp's sticky bit).
+    ctl, _owner = flowed
+    other = ctl.host.process(name="other")
+    with pytest.raises(FsError):
+        other.sc.unlink("/net/switches/sw1/flows/f1/version")
+    with pytest.raises(FsError):
+        other.sc.rmdir("/net/switches/sw1/flows/f1")
+    assert ctl.host.root_sc.exists("/net/switches/sw1/flows/f1/version")
